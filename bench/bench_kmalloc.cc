@@ -1,0 +1,58 @@
+/**
+ * @file
+ * E10 -- reproduces §IV-D: allocating physically-contiguous memory
+ * beyond the 4 MB kmalloc limit with the greedy adjacent-chunk
+ * algorithm. On a freshly booted system the algorithm succeeds for
+ * large areas; with increasing fragmentation the success rate drops and
+ * the tool proposes a reboot.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "kernel/kalloc.hh"
+
+int
+main()
+{
+    using namespace nb;
+    using namespace nb::kernel;
+    nb::setQuiet(true);
+
+    std::cout << "# E10 (paper SIV-D): greedy physically-contiguous "
+                 "allocation via kmalloc\n"
+              << "# (4 MB per-call cap; success = contiguous 64 MB "
+                 "area found within budget)\n\n";
+    std::cout << "fragmentation   success-rate   avg-kmalloc-calls\n"
+              << std::fixed << std::setprecision(2);
+
+    for (double frag : {0.0, 0.05, 0.10, 0.20, 0.40, 0.80}) {
+        int successes = 0;
+        double calls = 0.0;
+        constexpr int kTrials = 50;
+        for (int trial = 0; trial < kTrials; ++trial) {
+            sim::Memory mem;
+            Rng rng(static_cast<std::uint64_t>(trial) * 977 + 13);
+            KernelAllocator alloc(mem, &rng, frag);
+            Addr used_before = alloc.physInUse();
+            auto area = alloc.allocContiguous(64 * 1024 * 1024, 128);
+            if (area)
+                ++successes;
+            calls += static_cast<double>(alloc.physInUse() -
+                                         used_before) /
+                     kKmallocMax;
+        }
+        std::cout << std::setw(8) << frag << "        "
+                  << std::setw(6)
+                  << static_cast<double>(successes) / kTrials
+                  << "         " << std::setw(8) << calls / kTrials
+                  << "\n";
+    }
+    std::cout << "\n# Shape (paper): succeeds reliably on a fresh "
+                 "boot (adjacent kmalloc\n"
+              << "# results); under fragmentation the greedy run "
+                 "restarts often and\n"
+              << "# eventually a reboot is proposed.\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator substrate itself:
+ * replacement-policy updates, hierarchy accesses, assembly, and full
+ * nanoBench invocations. These are performance (not correctness)
+ * benchmarks for the reproduction's own infrastructure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.hh"
+#include "cachetools/policy_sim.hh"
+#include "core/nanobench.hh"
+#include "uarch/uarch.hh"
+#include "x86/assembler.hh"
+
+namespace
+{
+
+using namespace nb;
+
+void
+BM_PolicyUpdate(benchmark::State &state, const char *name)
+{
+    Rng rng(1);
+    cachetools::PolicySim sim(cache::makePolicy(name, 16, &rng));
+    Rng seq(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.access(static_cast<int>(seq.nextBelow(24))));
+    }
+}
+BENCHMARK_CAPTURE(BM_PolicyUpdate, lru, "LRU");
+BENCHMARK_CAPTURE(BM_PolicyUpdate, plru, "PLRU");
+BENCHMARK_CAPTURE(BM_PolicyUpdate, qlru, "QLRU_H11_M1_R0_U0");
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    Rng rng(1);
+    cache::Hierarchy h(uarch::getMicroArch("Skylake").cacheConfig,
+                       &rng);
+    h.setPrefetcherControl(cache::pf::kDisableAll);
+    Rng addr_rng(2);
+    for (auto _ : state) {
+        Addr a = addr_rng.nextBelow(1ULL << 24) & ~Addr{63};
+        benchmark::DoNotOptimize(
+            h.access(a, cache::AccessType::Load).latency);
+    }
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            x86::assemble("mov R14, [R14+RSI*8+16]; add RAX, 5"));
+    }
+}
+BENCHMARK(BM_Assemble);
+
+void
+BM_MachineExecute(benchmark::State &state)
+{
+    sim::Machine machine(uarch::getMicroArch("Skylake"), 42);
+    machine.setPrivilege(sim::Privilege::Kernel);
+    machine.setInterruptsEnabled(false);
+    auto code = x86::assemble(
+        "mov R15, 100; l: add RAX, RBX; imul RCX, RCX; dec R15; jnz l");
+    for (auto _ : state) {
+        auto stats = machine.execute(code);
+        benchmark::DoNotOptimize(stats.instructions);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * 402)); // instructions per execute
+}
+BENCHMARK(BM_MachineExecute);
+
+void
+BM_FullNanoBenchRun(benchmark::State &state)
+{
+    setQuiet(true);
+    core::NanoBenchOptions opt;
+    opt.mode = core::Mode::Kernel;
+    core::NanoBench bench(opt);
+    core::BenchmarkSpec spec;
+    spec.asmCode = "add RAX, RAX";
+    spec.unrollCount = 100;
+    spec.nMeasurements = 10;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bench.run(spec).lines.size());
+}
+BENCHMARK(BM_FullNanoBenchRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * E11 -- the paper's stated future-work direction (§VIII): TLB
+ * characterization with the nanoBench methodology. Measures the L1
+ * DTLB and STLB capacities and the translation penalties on the
+ * simulated machines; the modelled ground truth is 64-entry DTLB,
+ * 1536-entry STLB, +7 cycles for an STLB hit and +26 for a page walk.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "cachetools/tlbtool.hh"
+#include "core/nanobench.hh"
+
+int
+main()
+{
+    using namespace nb;
+    nb::setQuiet(true);
+
+    std::cout << "# E11 (paper SVIII future work): data-TLB "
+                 "characterization\n"
+              << "# (cyclic page sweeps, DTLB_LOAD_MISSES.* events, "
+                 "kernel runner)\n\n";
+    std::cout << "uarch        DTLB-entries  STLB-entries  "
+                 "STLB-hit-penalty  walk-penalty\n"
+              << std::fixed << std::setprecision(1);
+    for (const char *name : {"Skylake", "Haswell"}) {
+        core::NanoBenchOptions opt;
+        opt.uarch = name;
+        opt.mode = core::Mode::Kernel;
+        core::NanoBench bench(opt);
+        auto tlb = cachetools::measureTlb(bench.runner());
+        std::cout << std::left << std::setw(13) << name << std::right
+                  << std::setw(8) << tlb.dtlbEntries << std::setw(14)
+                  << tlb.stlbEntries << std::setw(14) << tlb.stlbPenalty
+                  << std::setw(15) << tlb.walkPenalty << "\n";
+    }
+    std::cout << "\n# Modelled ground truth: DTLB 64, STLB 1536, "
+                 "+7 cycles STLB hit, +26 walk.\n";
+    return 0;
+}

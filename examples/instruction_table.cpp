@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Instruction characterization (paper §V / uops.info): measure latency,
+ * throughput, µop count, and port usage of chosen instructions,
+ * including privileged ones -- which is only possible in kernel mode,
+ * the headline capability of nanoBench.
+ *
+ * Usage: ./build/examples/instruction_table [uarch] [asm...]
+ *   e.g. ./build/examples/instruction_table Haswell "imul RAX, RBX"
+ */
+
+#include <iostream>
+
+#include "core/nanobench.hh"
+#include "uops/characterize.hh"
+#include "x86/assembler.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nb;
+    nb::setQuiet(true);
+
+    std::string uarch = argc > 1 ? argv[1] : "Skylake";
+    core::NanoBenchOptions opt;
+    opt.uarch = uarch;
+    opt.mode = core::Mode::Kernel;
+    core::NanoBench bench(opt);
+    uops::Characterizer tool(bench.runner());
+
+    std::vector<std::string> requests;
+    for (int i = 2; i < argc; ++i)
+        requests.push_back(argv[i]);
+    if (requests.empty()) {
+        requests = {
+            "add RAX, RBX",      "imul RAX, RBX", "mov RAX, [R14]",
+            "mov [R14], RAX",    "div RBX",       "vaddps YMM1, YMM2, YMM3",
+            "popcnt RAX, RBX",   "nop",
+            // Privileged: no pre-nanoBench tool could measure these.
+            "rdmsr",             "wbinvd",        "cli",
+        };
+    }
+
+    std::cout << "Instruction characterization on " << uarch << " ("
+              << bench.machine().uarch().cpu << "), kernel mode\n\n";
+    std::cout << uops::Characterizer::tableHeader() << "\n";
+    std::cout << std::string(70, '-') << "\n";
+    for (const auto &text : requests) {
+        auto insn = x86::assemble(text);
+        if (insn.size() != 1) {
+            std::cout << text << ": expected exactly one instruction\n";
+            continue;
+        }
+        std::cout << tool.characterize(insn[0]).tableRow() << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Quickstart: the paper's §III-A example through the public C++ API.
+ *
+ * Measures the L1 data-cache latency on a simulated Skylake by chasing
+ * a pointer through R14, with the store that creates the pointer in the
+ * (unmeasured) initialization phase:
+ *
+ *   ./nanoBench.sh -asm "mov R14, [R14]" -asm_init "mov [R14], R14"
+ *                  -config cfg_Skylake.txt
+ *
+ * Build and run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/nanobench.hh"
+
+int
+main()
+{
+    using namespace nb::core;
+
+    NanoBenchOptions options;
+    options.uarch = "Skylake";       // any name from -list_uarchs
+    options.mode = Mode::Kernel;     // kernel-space variant (§III-D)
+
+    // The microbenchmark: body, init, and repetition parameters.
+    options.spec.asmCode = "mov R14, [R14]";   // chase the pointer
+    options.spec.asmInit = "mov [R14], R14";   // plant the pointer
+    options.spec.unrollCount = 100;
+    options.spec.warmUpCount = 2;
+    options.spec.config = CounterConfig::forMicroArch("Skylake");
+
+    NanoBench bench(options);
+    BenchmarkResult result = bench.run(options.spec);
+
+    std::cout << result.format();
+
+    // Individual values are addressable by name:
+    std::cout << "\nThe L1 data cache latency is "
+              << result["Core cycles"] << " cycles.\n";
+    return 0;
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Set-associative cache implementation.
+ */
+
+#include "cache.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace nb::cache
+{
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), numSets_(config.numSets()),
+      offsetBits_(floorLog2(config.lineSize)),
+      indexBits_(floorLog2(config.numSets()))
+{
+    NB_ASSERT(isPowerOfTwo(config.lineSize), "line size must be 2^k");
+    NB_ASSERT(numSets_ > 0 && isPowerOfTwo(numSets_),
+              "set count must be a positive power of two, got ", numSets_,
+              " for ", config.name);
+    NB_ASSERT(config.policyFactory != nullptr,
+              "cache ", config.name, " needs a policy factory");
+
+    lines_.resize(static_cast<std::size_t>(numSets_) * config.assoc);
+    validBits_.assign(numSets_, std::vector<bool>(config.assoc, false));
+    policies_.reserve(numSets_);
+    for (unsigned s = 0; s < numSets_; ++s) {
+        auto policy = config.policyFactory(s);
+        NB_ASSERT(policy != nullptr, "null policy for set ", s);
+        NB_ASSERT(policy->assoc() == config.assoc,
+                  "policy assoc mismatch in ", config.name);
+        policies_.push_back(std::move(policy));
+    }
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>(bits(addr, offsetBits_ + indexBits_ - 1,
+                                      offsetBits_));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> (offsetBits_ + indexBits_);
+}
+
+Addr
+Cache::addrOf(unsigned set, Addr tag) const
+{
+    return (tag << (offsetBits_ + indexBits_)) |
+           (static_cast<Addr>(set) << offsetBits_);
+}
+
+int
+Cache::findWay(unsigned set, Addr tag) const
+{
+    const Line *base = &lines_[static_cast<std::size_t>(set) *
+                               config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findWay(setIndex(addr), tagOf(addr)) >= 0;
+}
+
+LineAccessResult
+Cache::access(Addr addr, bool write)
+{
+    unsigned set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+    LineAccessResult result;
+    result.set = set;
+
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        ++stats_.hits;
+        result.hit = true;
+        result.way = static_cast<unsigned>(way);
+        if (write)
+            base[way].dirty = true;
+        policies_[set]->onHit(static_cast<unsigned>(way), validBits_[set]);
+        return result;
+    }
+
+    ++stats_.misses;
+    unsigned victim = policies_[set]->insertWay(validBits_[set]);
+    NB_ASSERT(victim < config_.assoc, "policy returned bad way ", victim);
+    Line &line = base[victim];
+    if (line.valid) {
+        ++stats_.evictions;
+        result.evicted = addrOf(set, line.tag);
+        result.evictedDirty = line.dirty;
+        if (line.dirty)
+            ++stats_.writebacks;
+        policies_[set]->onInvalidate(victim);
+    }
+    line.tag = tag;
+    line.valid = true;
+    line.dirty = write;
+    validBits_[set][victim] = true;
+    result.way = victim;
+    // Contract: validBits reflect the state *after* the insertion.
+    policies_[set]->onInsert(victim, validBits_[set]);
+    return result;
+}
+
+LineAccessResult
+Cache::accessNoAlloc(Addr addr, bool write)
+{
+    unsigned set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    LineAccessResult result;
+    result.set = set;
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        ++stats_.hits;
+        result.hit = true;
+        result.way = static_cast<unsigned>(way);
+        if (write) {
+            lines_[static_cast<std::size_t>(set) * config_.assoc + way]
+                .dirty = true;
+        }
+        policies_[set]->onHit(static_cast<unsigned>(way), validBits_[set]);
+    } else {
+        ++stats_.misses;
+    }
+    return result;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    unsigned set = setIndex(addr);
+    int way = findWay(set, tagOf(addr));
+    if (way < 0)
+        return false;
+    Line &line =
+        lines_[static_cast<std::size_t>(set) * config_.assoc + way];
+    line.valid = false;
+    line.dirty = false;
+    validBits_[set][way] = false;
+    ++stats_.invalidations;
+    policies_[set]->onInvalidate(static_cast<unsigned>(way));
+    return true;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+    for (auto &set_bits : validBits_)
+        set_bits.assign(config_.assoc, false);
+    for (auto &policy : policies_)
+        policy->reset();
+}
+
+bool
+Cache::setFull(unsigned set) const
+{
+    return setOccupancy(set) == config_.assoc;
+}
+
+unsigned
+Cache::setOccupancy(unsigned set) const
+{
+    unsigned n = 0;
+    for (bool v : validBits_[set])
+        n += v ? 1 : 0;
+    return n;
+}
+
+} // namespace nb::cache

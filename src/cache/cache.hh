@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A single set-associative cache (one level, or one L3 slice).
+ *
+ * The cache owns the tag array and valid bits; replacement decisions are
+ * delegated to a per-set SetPolicy instance produced by a factory, which
+ * lets the L3 mix leader and follower sets for set dueling (§VI-B3).
+ */
+
+#ifndef NB_CACHE_CACHE_HH
+#define NB_CACHE_CACHE_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/policy.hh"
+#include "common/types.hh"
+
+namespace nb::cache
+{
+
+/** Constructs the replacement policy for a given set index. */
+using PolicyFactory =
+    std::function<std::unique_ptr<SetPolicy>(unsigned set)>;
+
+/** Geometry and policy of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    Addr sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    Addr lineSize = kCacheLineSize;
+    PolicyFactory policyFactory;
+
+    unsigned numSets() const
+    {
+        return static_cast<unsigned>(sizeBytes / (lineSize * assoc));
+    }
+};
+
+/** Hit/miss statistics. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t invalidations = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+};
+
+/** Result of an access to one cache. */
+struct LineAccessResult
+{
+    bool hit = false;
+    unsigned set = 0;
+    unsigned way = 0;
+    /** Address of a line evicted to make room (fills only). */
+    std::optional<Addr> evicted;
+    /** The evicted line was dirty (needs writeback). */
+    bool evictedDirty = false;
+};
+
+/** One set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    const std::string &name() const { return config_.name; }
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return config_.assoc; }
+    Addr lineSize() const { return config_.lineSize; }
+
+    /** Set index for an address. */
+    unsigned setIndex(Addr addr) const;
+    /** Tag for an address. */
+    Addr tagOf(Addr addr) const;
+    /** Reconstruct a line-aligned address from set and tag. */
+    Addr addrOf(unsigned set, Addr tag) const;
+
+    /** Hit check without touching any state. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Access a line: on a hit, updates the replacement state; on a miss,
+     * fills the line (replacing a victim if the set is full).
+     *
+     * @param addr Byte address (any offset within the line).
+     * @param write Marks the line dirty.
+     */
+    LineAccessResult access(Addr addr, bool write);
+
+    /**
+     * Access that does NOT allocate on a miss (used for probes that model
+     * uncached traffic).
+     */
+    LineAccessResult accessNoAlloc(Addr addr, bool write);
+
+    /** Invalidate one line if present; returns true if it was present. */
+    bool invalidate(Addr addr);
+
+    /** Invalidate everything (WBINVD). */
+    void flushAll();
+
+    /** True if the given set is completely valid. */
+    bool setFull(unsigned set) const;
+
+    /** Number of valid lines in a set. */
+    unsigned setOccupancy(unsigned set) const;
+
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats{}; }
+
+    /** Replacement-policy instance of a set (for tests/tools). */
+    const SetPolicy &policy(unsigned set) const { return *policies_[set]; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    int findWay(unsigned set, Addr tag) const;
+
+    CacheConfig config_;
+    unsigned numSets_;
+    unsigned offsetBits_;
+    unsigned indexBits_;
+    /** lines_[set * assoc + way] */
+    std::vector<Line> lines_;
+    /** validBits_[set][way]; the view handed to policies. */
+    std::vector<std::vector<bool>> validBits_;
+    std::vector<std::unique_ptr<SetPolicy>> policies_;
+    CacheStats stats_;
+};
+
+} // namespace nb::cache
+
+#endif // NB_CACHE_CACHE_HH

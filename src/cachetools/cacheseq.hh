@@ -1,0 +1,118 @@
+/**
+ * @file
+ * cacheSeq (paper §VI-C): run an access sequence in a chosen cache set
+ * and measure how many hits/misses it generates.
+ *
+ * The tool assigns each abstract block of the sequence a (physical)
+ * address that maps to the chosen set (and, for the L3, to the chosen
+ * C-Box/slice); it generates a microbenchmark from the sequence and
+ * evaluates it with the kernel-space version of nanoBench in noMem mode
+ * (§III-I). Per-element measurement selection uses the pause/resume
+ * magic markers. Between two accesses to the same set of a lower-level
+ * cache, the tool automatically inserts enough accesses to addresses
+ * that map to the same L1/L2 sets but different L3 sets, so that the
+ * next access actually reaches the cache under test; these eviction
+ * accesses are excluded from the measurements. The physically-contiguous
+ * R14 area of the kernel runner provides the address space (§IV-D).
+ */
+
+#ifndef NB_CACHETOOLS_CACHESEQ_HH
+#define NB_CACHETOOLS_CACHESEQ_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cachetools/policy_sim.hh"
+#include "core/runner.hh"
+
+namespace nb::cachetools
+{
+
+/** Which cache the sequence targets. */
+enum class CacheLevel : std::uint8_t
+{
+    L1,
+    L2,
+    L3,
+};
+
+/** cacheSeq options (§VI-C). */
+struct CacheSeqOptions
+{
+    CacheLevel level = CacheLevel::L3;
+    /** Target set index (within a slice for the L3). */
+    unsigned set = 0;
+    /** Target C-Box/slice for L3 experiments. */
+    unsigned cbox = 0;
+    /** Runs to aggregate over (mean); more for noisy/probabilistic
+     *  policies. */
+    unsigned repetitions = 1;
+    /** Disable the hardware prefetchers first (§IV-A2). */
+    bool disablePrefetchers = true;
+};
+
+/** Measured hits and misses of one sequence. */
+struct HitMiss
+{
+    double hits = 0.0;
+    double misses = 0.0;
+};
+
+/** The cacheSeq tool bound to one kernel-mode runner. */
+class CacheSeq
+{
+  public:
+    /** @throws nb::FatalError if the runner is not in kernel mode or
+     *  prefetchers cannot be disabled (§VI-D: AMD CPUs). */
+    CacheSeq(core::Runner &runner, const CacheSeqOptions &options);
+
+    /** Mean measured hits over the repetitions. */
+    double run(const std::vector<SeqAccess> &seq);
+    double run(const std::string &seq_text);
+
+    /** Mean measured hits and misses. */
+    HitMiss runHitMiss(const std::vector<SeqAccess> &seq);
+
+    /** Virtual address assigned to a block id. */
+    Addr blockVaddr(int block);
+
+    /**
+     * Point the tool at a different set/slice without re-reserving the
+     * memory area (used by the set-dueling scanner, §VI-C3). Clears the
+     * block-address assignment.
+     */
+    void setTarget(unsigned set, unsigned cbox);
+
+    const CacheSeqOptions &options() const { return opt_; }
+    core::Runner &runner() { return runner_; }
+
+    /** Associativity of the targeted cache level. */
+    unsigned levelAssoc() const;
+
+  private:
+    void setupAddressSpace();
+    void computeTargetLayout();
+    Addr nextCandidate();
+    /** Eviction-run addresses: same L1/L2 set, different target set. */
+    std::vector<Addr> evictionRun();
+    std::vector<x86::Instruction>
+    buildBody(const std::vector<SeqAccess> &seq);
+
+    core::Runner &runner_;
+    CacheSeqOptions opt_;
+    Addr areaVirt_ = 0;
+    Addr areaPhys_ = 0;
+    Addr areaSize_ = 0;
+    /** Stride between consecutive same-set candidates. */
+    Addr candidateStride_ = 0;
+    Addr nextCandidateOffset_ = 0;
+    std::map<int, Addr> blockAddrs_;
+    std::vector<Addr> evictPool_;
+    std::size_t evictPos_ = 0;
+    unsigned evictRunLength_ = 0;
+};
+
+} // namespace nb::cachetools
+
+#endif // NB_CACHETOOLS_CACHESEQ_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Detection of dedicated (leader) sets in caches that use set dueling
+ * (paper §VI-C3, following Wong's approach), including caches where the
+ * dedicated sets differ between C-Boxes (Haswell/Broadwell, §VI-D).
+ *
+ * Protocol: a *signature* access sequence is chosen offline (via policy
+ * simulations) to maximally distinguish the two candidate policies.
+ * Training workloads then drive the PSEL duel towards each policy in
+ * turn — a recency-friendly pattern makes the deterministic-insertion
+ * policy win, a scanning pattern the probabilistic one — and every
+ * candidate set is probed in both states. Sets whose signature follows
+ * the winner are followers; sets with a fixed signature are dedicated
+ * to the policy their signature matches.
+ *
+ * The training workloads only *establish cache state*; for speed they
+ * drive the hierarchy directly rather than through generated
+ * microbenchmarks (behaviourally identical; all *measurements* go
+ * through nanoBench/cacheSeq).
+ */
+
+#ifndef NB_CACHETOOLS_DUELING_SCAN_HH
+#define NB_CACHETOOLS_DUELING_SCAN_HH
+
+#include <string>
+#include <vector>
+
+#include "cachetools/cacheseq.hh"
+
+namespace nb::cachetools
+{
+
+/** Classification of one cache set. */
+enum class SetRole : std::uint8_t
+{
+    Follower,
+    FixedA,
+    FixedB,
+    Unknown,
+};
+
+const char *setRoleName(SetRole role);
+
+/** Scanner options. */
+struct DuelingScanOptions
+{
+    unsigned setLo = 448;   ///< first set of the scanned band
+    unsigned setHi = 895;   ///< last set (inclusive)
+    unsigned stride = 4;    ///< probe every stride-th set
+    unsigned reps = 2;      ///< signature repetitions
+    /** Re-saturate the duel after this many probed sets. */
+    unsigned retrainInterval = 8;
+};
+
+/** One detected contiguous range of dedicated sets. */
+struct LeaderRangeResult
+{
+    unsigned slice = 0;
+    unsigned setLo = 0;
+    unsigned setHi = 0;
+    SetRole role = SetRole::Unknown;
+};
+
+/** Scan result. */
+struct DuelingScanResult
+{
+    /** roles[slice][k] = (set, role) for every probed set. */
+    std::vector<std::vector<std::pair<unsigned, SetRole>>> roles;
+    /** Dedicated ranges, grouped from the probes. */
+    std::vector<LeaderRangeResult> dedicatedRanges;
+
+    std::string summary() const;
+};
+
+/** Pattern replays per set within one training pass (the pattern must
+ *  warm up in the set for the policies' miss counts to diverge). */
+inline constexpr unsigned kTrainReplays = 4;
+
+/** The scanner, bound to one kernel runner. */
+class DuelingScanner
+{
+  public:
+    /**
+     * @param policy_a,policy_b Candidate policy names whose duel is
+     *        being looked for (QLRU names, §VI-D).
+     */
+    DuelingScanner(core::Runner &runner, std::string policy_a,
+                   std::string policy_b);
+
+    DuelingScanResult scan(const DuelingScanOptions &options);
+
+    /** The signature sequence chosen by the offline search. */
+    const std::vector<SeqAccess> &signatureSeq() const { return sig_; }
+    double expectedHitsA() const { return expectedA_; }
+    double expectedHitsB() const { return expectedB_; }
+
+  private:
+    void chooseSignature();
+    void chooseTraining();
+    /** Drive the PSEL duel so that the given policy wins. */
+    void train(bool towards_a, unsigned set_lo, unsigned set_hi);
+    /** Addresses in a given slice and set (direct physical). */
+    std::vector<Addr> trainAddrs(unsigned slice, unsigned set,
+                                 unsigned count);
+
+    core::Runner &runner_;
+    std::string policyA_;
+    std::string policyB_;
+    unsigned assoc_;
+    /** Probe signature (maximal expected-hit gap between A and B). */
+    std::vector<SeqAccess> sig_;
+    double expectedA_ = 0.0;
+    double expectedB_ = 0.0;
+    /** Training patterns: A-favoring misses more under B and vice
+     *  versa, driving the PSEL counter in the wanted direction. */
+    std::vector<SeqAccess> trainSeqA_;
+    std::vector<SeqAccess> trainSeqB_;
+};
+
+} // namespace nb::cachetools
+
+#endif // NB_CACHETOOLS_DUELING_SCAN_HH

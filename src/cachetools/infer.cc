@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Inference-tool implementation.
+ */
+
+#include "infer.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace nb::cachetools
+{
+
+SimSetProbe::SimSetProbe(const std::string &policy_name, unsigned assoc,
+                         Rng *rng, unsigned reps)
+    : policyName_(policy_name), assoc_(assoc), rng_(rng), reps_(reps)
+{
+    NB_ASSERT(reps >= 1, "need at least one repetition");
+}
+
+double
+SimSetProbe::hits(const std::vector<SeqAccess> &seq)
+{
+    double total = 0.0;
+    for (unsigned r = 0; r < reps_; ++r) {
+        PolicySim sim(cache::makePolicy(policyName_, assoc_, rng_));
+        total += sim.runSequence(seq);
+    }
+    return total / reps_;
+}
+
+unsigned
+inferAssociativity(SetProbe &probe, unsigned max_assoc)
+{
+    unsigned assoc = 0;
+    for (unsigned k = 1; k <= max_assoc; ++k) {
+        std::vector<SeqAccess> seq;
+        seq.push_back({-1, false, true}); // <wbinvd>
+        for (unsigned i = 0; i < k; ++i)
+            seq.push_back({static_cast<int>(i), false, false});
+        for (unsigned i = 0; i < k; ++i)
+            seq.push_back({static_cast<int>(i), true, false});
+        double hits = probe.hits(seq);
+        if (hits + 0.5 < k)
+            break;
+        assoc = k;
+    }
+    return assoc;
+}
+
+namespace
+{
+
+/** Fresh block ids are taken from a range far above the fill blocks. */
+int
+freshId(unsigned j)
+{
+    return 1000 + static_cast<int>(j);
+}
+
+/**
+ * Build the probe sequence: <wbinvd>, fill A blocks, optional extra
+ * access, j fresh misses, and a measured probe of block i.
+ */
+std::vector<SeqAccess>
+fingerprintSeq(unsigned assoc, int extra_access, unsigned j, unsigned i)
+{
+    std::vector<SeqAccess> seq;
+    seq.push_back({-1, false, true}); // <wbinvd>
+    for (unsigned b = 0; b < assoc; ++b)
+        seq.push_back({static_cast<int>(b), false, false});
+    if (extra_access >= 0)
+        seq.push_back({extra_access, false, false});
+    for (unsigned f = 0; f < j; ++f)
+        seq.push_back({freshId(f), false, false});
+    seq.push_back({static_cast<int>(i), true, false});
+    return seq;
+}
+
+} // namespace
+
+PermutationFingerprint
+permutationFingerprint(SetProbe &probe)
+{
+    unsigned assoc = probe.assoc();
+    PermutationFingerprint fp;
+    fp.assoc = assoc;
+
+    // Contexts: -1 = bare fill; 0..A-1 = hit access to block b after the
+    // fill; A = one additional miss (a fresh block).
+    std::vector<int> contexts;
+    contexts.push_back(-1);
+    for (unsigned b = 0; b < assoc; ++b)
+        contexts.push_back(static_cast<int>(b));
+    contexts.push_back(freshId(900)); // a miss access
+
+    for (int extra : contexts) {
+        std::vector<std::vector<bool>> per_j;
+        for (unsigned j = 1; j <= assoc; ++j) {
+            std::vector<bool> survives(assoc);
+            for (unsigned i = 0; i < assoc; ++i) {
+                double h = probe.hits(fingerprintSeq(assoc, extra, j, i));
+                survives[i] = h >= 0.5;
+            }
+            per_j.push_back(std::move(survives));
+        }
+        fp.table.push_back(std::move(per_j));
+    }
+    return fp;
+}
+
+std::optional<std::string>
+identifyPermutationPolicy(SetProbe &probe, Rng *rng)
+{
+    unsigned assoc = probe.assoc();
+    PermutationFingerprint fp = permutationFingerprint(probe);
+
+    std::vector<std::string> refs = {"LRU", "FIFO"};
+    if (isPowerOfTwo(assoc))
+        refs.push_back("PLRU");
+    for (const auto &name : refs) {
+        SimSetProbe ref(name, assoc, rng);
+        if (permutationFingerprint(ref) == fp)
+            return name;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string>
+candidatePolicyNames(unsigned assoc)
+{
+    std::vector<std::string> names = {"LRU", "FIFO", "MRU", "MRU_SBV"};
+    if (isPowerOfTwo(assoc))
+        names.push_back("PLRU");
+    for (const auto &spec : cache::allQlruSpecs())
+        names.push_back(spec.name());
+    return names;
+}
+
+PolicyIdentification
+identifyPolicy(SetProbe &probe, Rng &rng, unsigned n_sequences,
+               unsigned seq_length_factor)
+{
+    unsigned assoc = probe.assoc();
+    PolicyIdentification out;
+
+    // Candidate simulations; removed as soon as they disagree once.
+    struct Candidate
+    {
+        std::string name;
+        bool alive = true;
+    };
+    std::vector<Candidate> candidates;
+    for (auto &name : candidatePolicyNames(assoc))
+        candidates.push_back({name, true});
+
+    Rng sim_rng(12345); // candidate simulations are deterministic anyway
+
+    for (unsigned s = 0; s < n_sequences; ++s) {
+        // Random sequence over a few more blocks than ways; all
+        // accesses measured; always flushed first.
+        unsigned n_blocks = assoc + 1 + static_cast<unsigned>(
+                                           rng.nextBelow(4));
+        unsigned length = assoc * seq_length_factor +
+                          static_cast<unsigned>(rng.nextBelow(assoc));
+        std::vector<SeqAccess> seq;
+        seq.push_back({-1, false, true});
+        for (unsigned k = 0; k < length; ++k) {
+            seq.push_back({static_cast<int>(rng.nextBelow(n_blocks)),
+                           true, false});
+        }
+        ++out.sequencesTested;
+
+        double measured = probe.hits(seq);
+        double measured2 = probe.hits(seq);
+        if (measured != measured2 ||
+            measured != std::floor(measured)) {
+            // Hits differ between identical runs: the policy is not
+            // deterministic (§VI-D); the caller should use age graphs.
+            out.deterministic = false;
+            out.matches.clear();
+            return out;
+        }
+
+        auto expected = static_cast<unsigned>(measured);
+        for (auto &cand : candidates) {
+            if (!cand.alive)
+                continue;
+            SimSetProbe sim(cand.name, assoc, &sim_rng);
+            if (static_cast<unsigned>(sim.hits(seq)) != expected)
+                cand.alive = false;
+        }
+    }
+
+    for (const auto &cand : candidates) {
+        if (cand.alive)
+            out.matches.push_back(cand.name);
+    }
+    return out;
+}
+
+std::string
+AgeGraph::toCsv() const
+{
+    std::ostringstream os;
+    os << "fresh";
+    for (unsigned b = 0; b < nBlocks; ++b)
+        os << ",B" << b;
+    os << "\n";
+    for (std::size_t p = 0; p < freshCounts.size(); ++p) {
+        os << freshCounts[p];
+        for (unsigned b = 0; b < nBlocks; ++b)
+            os << "," << hitRate[b][p];
+        os << "\n";
+    }
+    return os.str();
+}
+
+AgeGraph
+computeAgeGraph(SetProbe &probe, unsigned n_blocks, unsigned max_fresh,
+                unsigned step)
+{
+    AgeGraph graph;
+    graph.nBlocks = n_blocks;
+    for (unsigned n = 0; n <= max_fresh; n += step)
+        graph.freshCounts.push_back(n);
+    graph.hitRate.assign(n_blocks, {});
+
+    for (unsigned b = 0; b < n_blocks; ++b) {
+        for (unsigned n : graph.freshCounts) {
+            std::vector<SeqAccess> seq;
+            seq.push_back({-1, false, true}); // <wbinvd>
+            for (unsigned i = 0; i < n_blocks; ++i)
+                seq.push_back({static_cast<int>(i), false, false});
+            for (unsigned f = 0; f < n; ++f)
+                seq.push_back({freshId(f), false, false});
+            seq.push_back({static_cast<int>(b), true, false});
+            graph.hitRate[b].push_back(probe.hits(seq));
+        }
+    }
+    return graph;
+}
+
+} // namespace nb::cachetools

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Policy-simulator implementation.
+ */
+
+#include "policy_sim.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace nb::cachetools
+{
+
+std::vector<SeqAccess>
+parseAccessSeq(const std::string &text)
+{
+    std::vector<SeqAccess> seq;
+    std::map<std::string, int> ids;
+    for (auto token : splitWhitespace(text)) {
+        SeqAccess acc;
+        if (iequals(token, "<wbinvd>")) {
+            acc.wbinvd = true;
+            acc.block = -1;
+            acc.measured = false;
+            seq.push_back(acc);
+            continue;
+        }
+        if (!token.empty() && token.back() == '?') {
+            acc.measured = false;
+            token.pop_back();
+        }
+        if (token.empty())
+            fatal("empty block name in access sequence");
+        auto [it, inserted] =
+            ids.try_emplace(token, static_cast<int>(ids.size()));
+        acc.block = it->second;
+        seq.push_back(acc);
+    }
+    return seq;
+}
+
+std::string
+accessSeqToString(const std::vector<SeqAccess> &seq)
+{
+    std::string out;
+    for (const auto &acc : seq) {
+        if (!out.empty())
+            out += " ";
+        if (acc.wbinvd) {
+            out += "<wbinvd>";
+            continue;
+        }
+        out += "B" + std::to_string(acc.block);
+        if (!acc.measured)
+            out += "?";
+    }
+    return out;
+}
+
+PolicySim::PolicySim(std::unique_ptr<cache::SetPolicy> policy)
+    : policy_(std::move(policy))
+{
+    NB_ASSERT(policy_ != nullptr, "PolicySim requires a policy");
+    tags_.assign(policy_->assoc(), -1);
+    valid_.assign(policy_->assoc(), false);
+}
+
+bool
+PolicySim::access(int block)
+{
+    for (unsigned w = 0; w < tags_.size(); ++w) {
+        if (valid_[w] && tags_[w] == block) {
+            policy_->onHit(w, valid_);
+            return true;
+        }
+    }
+    unsigned way = policy_->insertWay(valid_);
+    NB_ASSERT(way < tags_.size(), "policy returned bad way");
+    tags_[way] = block;
+    valid_[way] = true;
+    policy_->onInsert(way, valid_);
+    return false;
+}
+
+void
+PolicySim::flush()
+{
+    tags_.assign(tags_.size(), -1);
+    valid_.assign(valid_.size(), false);
+    policy_->reset();
+}
+
+unsigned
+PolicySim::runSequence(const std::vector<SeqAccess> &seq)
+{
+    unsigned hits = 0;
+    for (const auto &acc : seq) {
+        if (acc.wbinvd) {
+            flush();
+            continue;
+        }
+        bool hit = access(acc.block);
+        if (acc.measured && hit)
+            ++hits;
+    }
+    return hits;
+}
+
+std::vector<bool>
+PolicySim::trace(const std::vector<SeqAccess> &seq)
+{
+    std::vector<bool> out;
+    for (const auto &acc : seq) {
+        if (acc.wbinvd) {
+            flush();
+            continue;
+        }
+        out.push_back(access(acc.block));
+    }
+    return out;
+}
+
+} // namespace nb::cachetools

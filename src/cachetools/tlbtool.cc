@@ -1,0 +1,199 @@
+/**
+ * @file
+ * TLB-characterization implementation.
+ */
+
+#include "tlbtool.hh"
+
+#include <functional>
+
+#include "common/logging.hh"
+#include "x86/assembler.hh"
+
+namespace nb::cachetools
+{
+
+namespace
+{
+
+using x86::Instruction;
+using x86::MemRef;
+using x86::Opcode;
+using x86::Operand;
+using x86::Reg;
+
+/** One load per stride step: mov RBX, [R14 + i*stride]. */
+std::vector<Instruction>
+strideLoads(unsigned n, Addr stride)
+{
+    std::vector<Instruction> body;
+    body.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        MemRef m;
+        m.base = Reg::R14;
+        m.disp = static_cast<std::int64_t>(i * stride);
+        Instruction insn;
+        insn.opcode = Opcode::MOV;
+        insn.operands = {Operand::makeReg(Reg::RBX),
+                         Operand::makeMem(m, 64)};
+        body.push_back(std::move(insn));
+    }
+    return body;
+}
+
+Instruction
+ins_mov_imm(Reg r, std::int64_t value)
+{
+    Instruction insn;
+    insn.opcode = Opcode::MOV;
+    insn.operands = {Operand::makeReg(r), Operand::makeImm(value)};
+    return insn;
+}
+
+Instruction
+ins_store_abs(Addr addr, Reg r)
+{
+    MemRef m;
+    m.disp = static_cast<std::int64_t>(addr);
+    Instruction insn;
+    insn.opcode = Opcode::MOV;
+    insn.operands = {Operand::makeMem(m, 64), Operand::makeReg(r)};
+    return insn;
+}
+
+struct Probe
+{
+    double stlbHits = 0.0;  ///< DTLB misses that hit the STLB, per load
+    double walks = 0.0;     ///< page walks per load
+    double cycles = 0.0;    ///< cycles per load
+};
+
+Probe
+probe(core::Runner &runner, unsigned n_pages, Addr stride = 4096)
+{
+    core::BenchmarkSpec spec;
+    spec.code = strideLoads(n_pages, stride);
+    spec.unrollCount = 1;
+    spec.loopCount = 4; // cycle the working set (cyclic = LRU worst case)
+    spec.warmUpCount = 2;
+    spec.nMeasurements = 3;
+    spec.agg = Aggregate::Median;
+    spec.noMem = true;
+    spec.fixedCounters = false;
+    spec.config = core::CounterConfig::parseString(
+        "08.20 DTLB_LOAD_MISSES.STLB_HIT\n"
+        "08.01 DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK\n");
+    auto result = runner.run(spec);
+    Probe p;
+    double denom = n_pages;
+    p.stlbHits = result["DTLB_LOAD_MISSES.STLB_HIT"] / denom;
+    p.walks = result["DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK"] / denom;
+
+    // A second run with the fixed counters gives cycles per load.
+    spec.noMem = false;
+    spec.fixedCounters = true;
+    spec.config = core::CounterConfig{};
+    auto timing = runner.run(spec);
+    p.cycles = timing["Core cycles"] / denom;
+    return p;
+}
+
+/** Largest N in [lo, hi] where pred(N); pred must be monotone. */
+unsigned
+binarySearch(unsigned lo, unsigned hi,
+             const std::function<bool(unsigned)> &pred)
+{
+    while (lo < hi) {
+        unsigned mid = (lo + hi + 1) / 2;
+        if (pred(mid))
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+} // namespace
+
+TlbCharacterization
+measureTlb(core::Runner &runner, unsigned max_pages)
+{
+    if (runner.mode() != core::Mode::Kernel)
+        fatal("the TLB tool requires the kernel-space runner");
+    if (!runner.reserveR14Area(static_cast<Addr>(max_pages + 1) * 4096))
+        fatal("cannot reserve the page-sweep area");
+    // Hardware prefetchers would give the dense baseline rings an
+    // unfair cache advantage (§IV-A2); disable them like the cache
+    // tools do.
+    if (runner.machine().caches().prefetcherDisableSupported()) {
+        runner.machine().writeMsr(sim::msr::kPrefetchControl,
+                                  cache::pf::kDisableAll);
+    }
+
+    TlbCharacterization out;
+
+    // Capacities: the largest cyclic working set with (near-)zero
+    // misses at the respective level.
+    out.dtlbEntries = binarySearch(1, max_pages, [&](unsigned n) {
+        Probe p = probe(runner, n);
+        return p.stlbHits + p.walks < 0.01;
+    });
+    out.stlbEntries = binarySearch(out.dtlbEntries, max_pages,
+                                   [&](unsigned n) {
+                                       return probe(runner, n).walks <
+                                              0.01;
+                                   });
+
+    // Penalties: independent loads hide translation latency behind
+    // memory-level parallelism, so the penalty is measured with a
+    // *dependent* pointer chase around a ring of N lines -- once with
+    // one line per page (N translations) and once densely packed (few
+    // pages). The identical cache footprint cancels the cache-
+    // hierarchy contribution and isolates the translation penalty.
+    Addr base = runner.r14Area();
+    // Page-stride rings stagger the line offset within each page, so
+    // the ring spreads over all L1/L2 sets instead of colliding in one.
+    auto ring_addr = [&](unsigned i, Addr stride) {
+        Addr a = base + i * stride;
+        // Stagger by (i/8)%64 lines: decorrelated from the low page-
+        // number bits, so the ring spreads over all L1/L2 sets.
+        if (stride >= 4096)
+            a += ((i / 8) % 64) * 64;
+        return a;
+    };
+    auto chase_cycles = [&](unsigned n, Addr stride) {
+        std::vector<Instruction> init;
+        for (unsigned i = 0; i < n; ++i) {
+            Addr slot = ring_addr(i, stride);
+            Addr next = ring_addr((i + 1) % n, stride);
+            init.push_back(
+                ins_mov_imm(Reg::RBX, static_cast<std::int64_t>(next)));
+            init.push_back(ins_store_abs(slot, Reg::RBX));
+        }
+        core::BenchmarkSpec spec;
+        spec.init = std::move(init);
+        spec.asmCode = "mov R14, [R14]";
+        spec.unrollCount = 1;
+        spec.loopCount = 4 * n;
+        spec.warmUpCount = 2;
+        spec.nMeasurements = 3;
+        spec.agg = Aggregate::Median;
+        return runner.run(spec)["Core cycles"];
+    };
+    auto penalty_at = [&](unsigned n) {
+        return chase_cycles(n, 4096) - chase_cycles(n, 64);
+    };
+    // STLB penalty: a ring small enough that both variants stay L1-
+    // resident (pure translation difference); walk penalty: a ring
+    // past the STLB but still L2-resident in both variants.
+    unsigned stlb_n = std::min(6 * out.dtlbEntries,
+                               (out.dtlbEntries + out.stlbEntries) / 2);
+    if (out.stlbEntries > out.dtlbEntries)
+        out.stlbPenalty = penalty_at(stlb_n);
+    unsigned beyond = std::min(max_pages, out.stlbEntries + 512);
+    if (beyond > out.stlbEntries)
+        out.walkPenalty = penalty_at(beyond);
+    return out;
+}
+
+} // namespace nb::cachetools

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * TLB characterization (the paper's first named future-work direction,
+ * §VIII): measure the capacities of the data-TLB levels and the miss
+ * penalties with generated microbenchmarks, using the same methodology
+ * as the cache tools -- counter differences over pointer-dense access
+ * patterns, evaluated with the kernel-space runner in noMem mode.
+ */
+
+#ifndef NB_CACHETOOLS_TLBTOOL_HH
+#define NB_CACHETOOLS_TLBTOOL_HH
+
+#include "core/runner.hh"
+
+namespace nb::cachetools
+{
+
+/** Measured TLB characteristics. */
+struct TlbCharacterization
+{
+    /** Largest page working set with (near-)zero DTLB misses. */
+    unsigned dtlbEntries = 0;
+    /** Largest page working set with (near-)zero page walks. */
+    unsigned stlbEntries = 0;
+    /** Extra load latency of an STLB hit vs a DTLB hit (cycles). */
+    double stlbPenalty = 0.0;
+    /** Extra load latency of a page walk vs a DTLB hit (cycles). */
+    double walkPenalty = 0.0;
+};
+
+/**
+ * Measure the TLB capacities by sweeping cyclic page working sets and
+ * watching the DTLB_LOAD_MISSES.* events.
+ *
+ * @param runner   Kernel-mode runner.
+ * @param max_pages Upper bound of the search (and the size of the
+ *                  reserved memory area, in pages).
+ */
+TlbCharacterization measureTlb(core::Runner &runner,
+                               unsigned max_pages = 4096);
+
+} // namespace nb::cachetools
+
+#endif // NB_CACHETOOLS_TLBTOOL_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the cache indexing and slice-hash code.
+ */
+
+#ifndef NB_COMMON_BITS_HH
+#define NB_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace nb
+{
+
+/** True iff @p v is a (non-zero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceil of log2(v); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v, right-aligned. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    std::uint64_t width = hi - lo + 1;
+    std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (v >> lo) & mask;
+}
+
+/** Extract a single bit of @p v. */
+constexpr std::uint64_t
+bit(std::uint64_t v, unsigned pos)
+{
+    return (v >> pos) & 1ULL;
+}
+
+/** XOR-reduction (parity) of all bits of @p v. */
+constexpr unsigned
+parity(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v) & 1);
+}
+
+/** Align @p v down to a multiple of @p alignment (a power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t alignment)
+{
+    return v & ~(alignment - 1);
+}
+
+/** Align @p v up to a multiple of @p alignment (a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t alignment)
+{
+    return (v + alignment - 1) & ~(alignment - 1);
+}
+
+} // namespace nb
+
+#endif // NB_COMMON_BITS_HH

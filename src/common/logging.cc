@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace nb
+{
+
+namespace
+{
+
+std::atomic<bool> quietFlag{false};
+
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+isQuiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+emitMessage(const char *prefix, const std::string &msg)
+{
+    // Errors are always shown; warn/inform respect the quiet flag.
+    bool is_error = prefix[0] == 'p' || prefix[0] == 'f';
+    if (!is_error && isQuiet())
+        return;
+    std::cerr << prefix << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace nb

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * Two error levels are distinguished:
+ *   - panic(): an internal invariant was violated (a bug in this library);
+ *     aborts so that a debugger or core dump can capture the state.
+ *   - fatal(): the *user* asked for something impossible (bad configuration,
+ *     malformed assembly, invalid parameters); exits with an error code.
+ *
+ * warn()/inform() print to stderr and never stop execution.
+ */
+
+#ifndef NB_COMMON_LOGGING_HH
+#define NB_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nb
+{
+
+/** Exception thrown by fatal() so that library users and tests can catch
+ *  user-level errors instead of terminating the process. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic(); indicates a library bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail
+{
+
+void emitMessage(const char *prefix, const std::string &msg);
+
+template <typename... Args>
+std::string
+formatParts(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an unrecoverable internal error (library bug) and throw. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::formatParts(std::forward<Args>(args)...);
+    detail::emitMessage("panic: ", msg);
+    throw PanicError(msg);
+}
+
+/** Report an unrecoverable user error (bad input/configuration) and throw. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::formatParts(std::forward<Args>(args)...);
+    detail::emitMessage("fatal: ", msg);
+    throw FatalError(msg);
+}
+
+/** Warn about a condition that might lead to surprising results. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitMessage(
+        "warn: ", detail::formatParts(std::forward<Args>(args)...));
+}
+
+/** Print a purely informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitMessage(
+        "info: ", detail::formatParts(std::forward<Args>(args)...));
+}
+
+/** Globally silence warn()/inform() (used by benches for clean output). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+/** panic() unless the given condition holds. */
+#define NB_ASSERT(cond, ...)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::nb::panic("assertion '", #cond, "' failed: ", __VA_ARGS__);     \
+        }                                                                     \
+    } while (0)
+
+} // namespace nb
+
+#endif // NB_COMMON_LOGGING_HH

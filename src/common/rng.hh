@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * All stochastic behaviour in the simulator (interrupt arrival, CPUID
+ * latency jitter, probabilistic QLRU insertion, ...) draws from instances
+ * of this generator, so experiments are reproducible bit-for-bit given a
+ * seed. The generator is deliberately not std::mt19937 so that results do
+ * not depend on standard-library implementation details.
+ */
+
+#ifndef NB_COMMON_RNG_HH
+#define NB_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace nb
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman and Vigna (public domain reference
+ * implementation, reformulated), seeded via splitmix64.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound); bound must be > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Bernoulli draw: true with probability 1/denominator. */
+    bool oneIn(std::uint64_t denominator);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace nb
+
+#endif // NB_COMMON_RNG_HH

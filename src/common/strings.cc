@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Implementation of the string utilities.
+ */
+
+#include "strings.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace nb
+{
+
+namespace
+{
+
+bool
+isSpace(unsigned char c)
+{
+    return std::isspace(c) != 0;
+}
+
+} // namespace
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && isSpace(s[begin]))
+        ++begin;
+    while (end > begin && isSpace(s[end - 1]))
+        --end;
+    return std::string(s.substr(begin, end - begin));
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && isSpace(s[i]))
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() && !isSpace(s[i]))
+            ++i;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+std::string
+toUpper(std::string_view s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return out;
+}
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::optional<std::int64_t>
+parseInt(std::string_view s)
+{
+    std::string buf = trim(s);
+    if (buf.empty())
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(buf.c_str(), &end, 0);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return std::nullopt;
+    return static_cast<std::int64_t>(v);
+}
+
+std::optional<std::uint64_t>
+parseHex(std::string_view s)
+{
+    std::string buf = trim(s);
+    if (startsWith(buf, "0x") || startsWith(buf, "0X"))
+        buf = buf.substr(2);
+    if (buf.empty())
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(buf.c_str(), &end, 16);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+} // namespace nb

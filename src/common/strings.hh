@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Small string utilities used by the assembler, the counter-config parser,
+ * and the access-sequence language.
+ */
+
+#ifndef NB_COMMON_STRINGS_HH
+#define NB_COMMON_STRINGS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nb
+{
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace; no empty fields are produced. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** ASCII lower-case copy. */
+std::string toLower(std::string_view s);
+
+/** ASCII upper-case copy. */
+std::string toUpper(std::string_view s);
+
+/** Case-insensitive ASCII comparison. */
+bool iequals(std::string_view a, std::string_view b);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/**
+ * Parse an integer with optional 0x prefix; returns std::nullopt on any
+ * syntax error or overflow.
+ */
+std::optional<std::int64_t> parseInt(std::string_view s);
+
+/** Parse a hexadecimal string (no prefix required). */
+std::optional<std::uint64_t> parseHex(std::string_view s);
+
+/** Join the elements with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+} // namespace nb
+
+#endif // NB_COMMON_STRINGS_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fundamental typedefs shared across the library.
+ */
+
+#ifndef NB_COMMON_TYPES_HH
+#define NB_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace nb
+{
+
+/** A (virtual or physical) byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A duration or timestamp in simulated core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Size of a cache line in bytes on every modelled microarchitecture. */
+inline constexpr Addr kCacheLineSize = 64;
+
+/** Size of a virtual/physical memory page. */
+inline constexpr Addr kPageSize = 4096;
+
+} // namespace nb
+
+#endif // NB_COMMON_TYPES_HH

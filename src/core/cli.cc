@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Command-line front end: the equivalent of nanoBench.sh and
+ * kernel-nanoBench.sh (paper §III-E). Example:
+ *
+ *   nanobench -asm "mov R14, [R14]" -asm_init "mov [R14], R14" \
+ *             -config configs/cfg_Skylake.txt -uarch Skylake -kernel
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "core/nanobench.hh"
+#include "uarch/uarch.hh"
+#include "x86/encoding.hh"
+
+namespace
+{
+
+void
+printUsage()
+{
+    std::cout <<
+        "nanoBench (simulated) -- run microbenchmarks with performance "
+        "counters\n\n"
+        "usage: nanobench [options]\n"
+        "  -asm <code>          benchmark body (Intel syntax)\n"
+        "  -asm_init <code>     initialization code (not measured)\n"
+        "  -code <file>         benchmark body from an encoded binary\n"
+        "  -config <file>       performance-counter config file\n"
+        "  -uarch <name>        microarchitecture (default Skylake)\n"
+        "  -kernel | -user      kernel- or user-space version\n"
+        "  -unroll_count <n>    unroll factor (default 100)\n"
+        "  -loop_count <n>      loop iterations (default 0 = no loop)\n"
+        "  -n_measurements <n>  repetitions (default 10)\n"
+        "  -warm_up_count <n>   discarded initial runs (default 2)\n"
+        "  -agg <min|med|avg>   aggregate function (default med)\n"
+        "  -basic_mode          compare against localUnrollCount=0\n"
+        "  -no_mem              keep counter values in registers\n"
+        "  -serialize <mode>    none | cpuid | lfence (default lfence)\n"
+        "  -aperf_mperf         also read APERF/MPERF (kernel only)\n"
+        "  -seed <n>            simulation seed\n"
+        "  -list_uarchs         list supported microarchitectures\n";
+}
+
+std::string
+readBinaryFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        nb::fatal("cannot open code file '", path, "'");
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace nb;
+    using namespace nb::core;
+
+    NanoBenchOptions opt;
+    opt.spec.unrollCount = 100;
+    opt.spec.warmUpCount = 2;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal("missing value for option ", arg);
+                return argv[++i];
+            };
+            if (arg == "-asm") {
+                opt.spec.asmCode = next();
+            } else if (arg == "-asm_init") {
+                opt.spec.asmInit = next();
+            } else if (arg == "-code") {
+                std::string blob = readBinaryFile(next());
+                opt.spec.code = x86::decode(std::vector<std::uint8_t>(
+                    blob.begin(), blob.end()));
+            } else if (arg == "-config") {
+                opt.configFile = next();
+            } else if (arg == "-uarch") {
+                opt.uarch = next();
+            } else if (arg == "-kernel") {
+                opt.mode = Mode::Kernel;
+            } else if (arg == "-user") {
+                opt.mode = Mode::User;
+            } else if (arg == "-unroll_count") {
+                opt.spec.unrollCount = std::stoull(next());
+            } else if (arg == "-loop_count") {
+                opt.spec.loopCount = std::stoull(next());
+            } else if (arg == "-n_measurements") {
+                opt.spec.nMeasurements =
+                    static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "-warm_up_count") {
+                opt.spec.warmUpCount =
+                    static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "-agg") {
+                opt.spec.agg = parseAggregate(next());
+            } else if (arg == "-basic_mode") {
+                opt.spec.basicMode = true;
+            } else if (arg == "-no_mem") {
+                opt.spec.noMem = true;
+            } else if (arg == "-serialize") {
+                opt.spec.serialize = parseSerializeMode(next());
+            } else if (arg == "-aperf_mperf") {
+                opt.spec.aperfMperf = true;
+            } else if (arg == "-seed") {
+                opt.seed = std::stoull(next());
+            } else if (arg == "-list_uarchs") {
+                for (const auto &name : uarch::allMicroArchNames())
+                    std::cout << name << "\n";
+                return 0;
+            } else if (arg == "-h" || arg == "--help") {
+                printUsage();
+                return 0;
+            } else {
+                fatal("unknown option '", arg, "' (try --help)");
+            }
+        }
+
+        if (opt.spec.asmCode.empty() && opt.spec.code.empty()) {
+            printUsage();
+            return 1;
+        }
+
+        NanoBench nb(opt);
+        std::cout << nb.run(nb.options().spec).format();
+        return 0;
+    } catch (const FatalError &e) {
+        return 1;
+    } catch (const PanicError &e) {
+        return 2;
+    }
+}

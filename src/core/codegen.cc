@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Code-generator implementation.
+ */
+
+#include "codegen.hh"
+
+#include "common/logging.hh"
+#include "sim/pmu.hh"
+
+namespace nb::core
+{
+
+using x86::Instruction;
+using x86::MemRef;
+using x86::Opcode;
+using x86::Operand;
+using x86::Reg;
+
+SerializeMode
+parseSerializeMode(const std::string &name)
+{
+    if (name == "none")
+        return SerializeMode::None;
+    if (name == "cpuid")
+        return SerializeMode::Cpuid;
+    if (name == "lfence")
+        return SerializeMode::Lfence;
+    fatal("unknown serialize mode '", name,
+          "' (expected none, cpuid, or lfence)");
+}
+
+const std::vector<Reg> &
+noMemAccumulators()
+{
+    static const std::vector<Reg> regs = {Reg::R8,  Reg::R9,  Reg::R10,
+                                          Reg::R11, Reg::R12, Reg::R13};
+    return regs;
+}
+
+unsigned
+maxNoMemReadouts()
+{
+    return static_cast<unsigned>(noMemAccumulators().size());
+}
+
+namespace
+{
+
+Instruction
+makeInsn(Opcode op, std::vector<Operand> operands = {})
+{
+    Instruction insn;
+    insn.opcode = op;
+    insn.operands = std::move(operands);
+    return insn;
+}
+
+Operand
+absMem(Addr addr)
+{
+    MemRef m;
+    m.disp = static_cast<std::int64_t>(addr);
+    return Operand::makeMem(m, 64);
+}
+
+void
+emitFence(std::vector<Instruction> &out, SerializeMode mode)
+{
+    switch (mode) {
+      case SerializeMode::None:
+        break;
+      case SerializeMode::Cpuid:
+        // Setting RAX to a fixed value first reduces (but does not
+        // eliminate) CPUID's variance (§IV-A1 / Paoloni).
+        out.push_back(makeInsn(
+            Opcode::MOV, {Operand::makeReg(Reg::RAX), Operand::makeImm(0)}));
+        out.push_back(makeInsn(Opcode::CPUID));
+        break;
+      case SerializeMode::Lfence:
+        out.push_back(makeInsn(Opcode::LFENCE));
+        break;
+    }
+}
+
+/** Emit "read counter into RAX" for one readout item. */
+void
+emitReadValue(std::vector<Instruction> &out, const ReadoutItem &item)
+{
+    std::uint64_t index = item.index;
+    Opcode read_op = Opcode::RDPMC;
+    switch (item.kind) {
+      case ReadoutItem::Kind::FixedPmc:
+        index |= sim::kRdpmcFixedBase;
+        break;
+      case ReadoutItem::Kind::ProgPmc:
+        break;
+      case ReadoutItem::Kind::Msr:
+        read_op = Opcode::RDMSR;
+        break;
+    }
+    out.push_back(makeInsn(Opcode::MOV,
+                           {Operand::makeReg(Reg::RCX),
+                            Operand::makeImm(
+                                static_cast<std::int64_t>(index))}));
+    out.push_back(makeInsn(read_op));
+    // Combine EDX:EAX into RAX.
+    out.push_back(makeInsn(Opcode::SHL, {Operand::makeReg(Reg::RDX),
+                                         Operand::makeImm(32)}));
+    out.push_back(makeInsn(Opcode::OR, {Operand::makeReg(Reg::RAX),
+                                        Operand::makeReg(Reg::RDX)}));
+}
+
+/**
+ * Emit a full readout block. In memory mode, values go to the m1/m2
+ * slots and RAX/RCX/RDX are spilled/restored around the block so the
+ * microbenchmark's registers survive (§III-B). In noMem mode, the first
+ * readout subtracts from the accumulators and the second adds, leaving
+ * m2-m1 in the accumulator registers (§III-I).
+ */
+void
+emitReadout(std::vector<Instruction> &out, const GenParams &p,
+            bool is_second)
+{
+    emitFence(out, p.serialize);
+
+    if (p.noMem) {
+        for (std::size_t i = 0; i < p.readouts.size(); ++i) {
+            emitReadValue(out, p.readouts[i]);
+            Reg accum = noMemAccumulators()[i];
+            out.push_back(makeInsn(is_second ? Opcode::ADD : Opcode::SUB,
+                                   {Operand::makeReg(accum),
+                                    Operand::makeReg(Reg::RAX)}));
+        }
+        emitFence(out, p.serialize);
+        return;
+    }
+
+    // Spill the registers the readout clobbers.
+    Addr spill = p.resultBase + layout::kSpillOffset;
+    out.push_back(makeInsn(Opcode::MOV,
+                           {absMem(spill + 0), Operand::makeReg(Reg::RAX)}));
+    out.push_back(makeInsn(Opcode::MOV,
+                           {absMem(spill + 8), Operand::makeReg(Reg::RCX)}));
+    out.push_back(makeInsn(Opcode::MOV, {absMem(spill + 16),
+                                         Operand::makeReg(Reg::RDX)}));
+
+    Addr slot_base = p.resultBase +
+                     (is_second ? layout::kM2Offset : layout::kM1Offset);
+    for (std::size_t i = 0; i < p.readouts.size(); ++i) {
+        emitReadValue(out, p.readouts[i]);
+        out.push_back(makeInsn(Opcode::MOV, {absMem(slot_base + 8 * i),
+                                             Operand::makeReg(Reg::RAX)}));
+    }
+
+    // Restore the spilled registers.
+    out.push_back(makeInsn(Opcode::MOV, {Operand::makeReg(Reg::RAX),
+                                         absMem(spill + 0)}));
+    out.push_back(makeInsn(Opcode::MOV, {Operand::makeReg(Reg::RCX),
+                                         absMem(spill + 8)}));
+    out.push_back(makeInsn(Opcode::MOV, {Operand::makeReg(Reg::RDX),
+                                         absMem(spill + 16)}));
+
+    emitFence(out, p.serialize);
+}
+
+} // namespace
+
+std::vector<Instruction>
+generateMeasurementCode(const GenParams &p)
+{
+    NB_ASSERT(!p.noMem || p.readouts.size() <= maxNoMemReadouts(),
+              "too many readout items for noMem mode (max ",
+              maxNoMemReadouts(), ")");
+    NB_ASSERT(p.noMem || p.resultBase != 0,
+              "memory-mode codegen needs a results area");
+
+    std::vector<Instruction> out;
+
+    // Line 3 of Algorithm 1: initialization part (not measured).
+    out.insert(out.end(), p.init.begin(), p.init.end());
+
+    // noMem: zero the accumulators before the first read.
+    if (p.noMem) {
+        for (std::size_t i = 0; i < p.readouts.size(); ++i) {
+            Reg accum = noMemAccumulators()[i];
+            out.push_back(makeInsn(Opcode::XOR,
+                                   {Operand::makeReg(accum),
+                                    Operand::makeReg(accum)}));
+        }
+    }
+
+    // Line 4: m1 <- readPerfCtrs.
+    emitReadout(out, p, false);
+
+    // Lines 5-9: the (possibly looped) unrolled body. Body-internal
+    // branch targets are indices relative to the body start and are
+    // relocated for each unrolled copy.
+    auto append_body_copy = [&out, &p] {
+        std::size_t copy_start = out.size();
+        for (const Instruction &insn : p.body) {
+            Instruction relocated = insn;
+            if (relocated.targetIdx >= 0) {
+                relocated.targetIdx += static_cast<std::int32_t>(
+                    copy_start);
+            }
+            out.push_back(std::move(relocated));
+        }
+    };
+
+    // localUnrollCount = 0 (basic mode): no instructions at all between
+    // the two readouts, not even the loop (§III-C).
+    if (p.loopCount > 0 && p.localUnrollCount > 0) {
+        out.push_back(makeInsn(
+            Opcode::MOV,
+            {Operand::makeReg(Reg::R15),
+             Operand::makeImm(static_cast<std::int64_t>(p.loopCount))}));
+        std::size_t loop_head = out.size();
+        for (std::uint64_t u = 0; u < p.localUnrollCount; ++u)
+            append_body_copy();
+        out.push_back(makeInsn(Opcode::DEC, {Operand::makeReg(Reg::R15)}));
+        Instruction jnz = makeInsn(Opcode::JNZ);
+        jnz.targetIdx = static_cast<std::int32_t>(loop_head);
+        out.push_back(jnz);
+    } else {
+        for (std::uint64_t u = 0; u < p.localUnrollCount; ++u)
+            append_body_copy();
+    }
+
+    // Line 10: m2 <- readPerfCtrs.
+    emitReadout(out, p, true);
+    return out;
+}
+
+} // namespace nb::core

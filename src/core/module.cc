@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Kernel-module VFS implementation.
+ */
+
+#include "module.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "x86/assembler.hh"
+#include "x86/encoding.hh"
+
+namespace nb::core
+{
+
+NanoBenchModule::NanoBenchModule(sim::Machine &machine)
+    : machine_(machine),
+      runner_(std::make_unique<Runner>(machine, Mode::Kernel))
+{
+}
+
+namespace
+{
+
+std::uint64_t
+parseCount(const std::string &path, const std::string &data)
+{
+    auto v = parseInt(data);
+    if (!v || *v < 0)
+        fatal("bad value '", trim(data), "' written to ", path);
+    return static_cast<std::uint64_t>(*v);
+}
+
+bool
+parseBool(const std::string &path, const std::string &data)
+{
+    std::string t = trim(data);
+    if (t == "0" || t == "false")
+        return false;
+    if (t == "1" || t == "true")
+        return true;
+    fatal("bad boolean '", t, "' written to ", path);
+}
+
+std::vector<std::uint8_t>
+toBytes(const std::string &data)
+{
+    return {data.begin(), data.end()};
+}
+
+} // namespace
+
+void
+NanoBenchModule::writeFile(const std::string &path, const std::string &data)
+{
+    if (path == "/sys/nb/code") {
+        spec_.asmCode = data;
+        spec_.code.clear();
+    } else if (path == "/sys/nb/init") {
+        spec_.asmInit = data;
+        spec_.init.clear();
+    } else if (path == "/sys/nb/code_bytes") {
+        // Raw machine code, as the real module receives it (§IV-B).
+        spec_.code = x86::decode(toBytes(data));
+        spec_.asmCode.clear();
+    } else if (path == "/sys/nb/init_bytes") {
+        spec_.init = x86::decode(toBytes(data));
+        spec_.asmInit.clear();
+    } else if (path == "/sys/nb/loop_count") {
+        spec_.loopCount = parseCount(path, data);
+    } else if (path == "/sys/nb/unroll_count") {
+        spec_.unrollCount = std::max<std::uint64_t>(
+            1, parseCount(path, data));
+    } else if (path == "/sys/nb/n_measurements") {
+        spec_.nMeasurements =
+            static_cast<unsigned>(parseCount(path, data));
+    } else if (path == "/sys/nb/warm_up_count") {
+        spec_.warmUpCount = static_cast<unsigned>(parseCount(path, data));
+    } else if (path == "/sys/nb/agg") {
+        spec_.agg = parseAggregate(trim(data));
+    } else if (path == "/sys/nb/basic_mode") {
+        spec_.basicMode = parseBool(path, data);
+    } else if (path == "/sys/nb/no_mem") {
+        spec_.noMem = parseBool(path, data);
+    } else if (path == "/sys/nb/serialize") {
+        spec_.serialize = parseSerializeMode(trim(data));
+    } else if (path == "/sys/nb/fixed_counters") {
+        spec_.fixedCounters = parseBool(path, data);
+    } else if (path == "/sys/nb/aperf_mperf") {
+        spec_.aperfMperf = parseBool(path, data);
+    } else if (path == "/sys/nb/config") {
+        spec_.config = CounterConfig::parseString(data);
+    } else {
+        fatal("write to unknown virtual file '", path, "'");
+    }
+}
+
+std::string
+NanoBenchModule::readFile(const std::string &path)
+{
+    if (path == "/proc/nanoBench") {
+        // Generates the code, runs the benchmark (possibly several
+        // rounds), and returns the result (§IV-C).
+        return runner_->run(spec_).format();
+    }
+    if (path == "/sys/nb/loop_count")
+        return std::to_string(spec_.loopCount);
+    if (path == "/sys/nb/unroll_count")
+        return std::to_string(spec_.unrollCount);
+    if (path == "/sys/nb/n_measurements")
+        return std::to_string(spec_.nMeasurements);
+    if (path == "/sys/nb/warm_up_count")
+        return std::to_string(spec_.warmUpCount);
+    if (path == "/sys/nb/agg")
+        return aggregateName(spec_.agg);
+    if (path == "/sys/nb/code")
+        return spec_.asmCode;
+    if (path == "/sys/nb/init")
+        return spec_.asmInit;
+    fatal("read from unknown virtual file '", path, "'");
+}
+
+std::vector<std::string>
+NanoBenchModule::paths() const
+{
+    return {
+        "/proc/nanoBench",          "/sys/nb/code",
+        "/sys/nb/init",             "/sys/nb/code_bytes",
+        "/sys/nb/init_bytes",       "/sys/nb/loop_count",
+        "/sys/nb/unroll_count",     "/sys/nb/n_measurements",
+        "/sys/nb/warm_up_count",    "/sys/nb/agg",
+        "/sys/nb/basic_mode",       "/sys/nb/no_mem",
+        "/sys/nb/serialize",        "/sys/nb/fixed_counters",
+        "/sys/nb/aperf_mperf",      "/sys/nb/config",
+    };
+}
+
+} // namespace nb::core

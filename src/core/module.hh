@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The simulated nanoBench kernel module interface (paper §IV-C).
+ *
+ * While the real module is loaded it exposes virtual files: benchmark
+ * parameters are set by writing to files under /sys/nb/ (e.g. the loop
+ * count or the code bytes), and reading /proc/nanoBench generates the
+ * measurement code, runs the benchmark, and returns the results. This
+ * class reproduces that interface on top of the simulated machine; the
+ * code file accepts the binary encoding from x86::encode(), mirroring
+ * how the real module receives raw machine code.
+ */
+
+#ifndef NB_CORE_MODULE_HH
+#define NB_CORE_MODULE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace nb::core
+{
+
+/** The loaded kernel module: a virtual-file front end over a Runner. */
+class NanoBenchModule
+{
+  public:
+    /** "insmod": binds to a machine and allocates the memory areas. */
+    explicit NanoBenchModule(sim::Machine &machine);
+
+    /** Write to a virtual file (configuration). Known paths:
+     *  /sys/nb/{code,init,code_bytes,init_bytes,loop_count,
+     *  unroll_count,n_measurements,warm_up_count,agg,basic_mode,
+     *  no_mem,serialize,config,fixed_counters,aperf_mperf}.
+     *  @throws nb::FatalError for unknown paths or bad values. */
+    void writeFile(const std::string &path, const std::string &data);
+
+    /** Read a virtual file. Reading /proc/nanoBench runs the benchmark
+     *  and returns the formatted results (§IV-C). */
+    std::string readFile(const std::string &path);
+
+    /** All defined virtual-file paths. */
+    std::vector<std::string> paths() const;
+
+    Runner &runner() { return *runner_; }
+    const BenchmarkSpec &spec() const { return spec_; }
+
+  private:
+    sim::Machine &machine_;
+    std::unique_ptr<Runner> runner_;
+    BenchmarkSpec spec_;
+};
+
+} // namespace nb::core
+
+#endif // NB_CORE_MODULE_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Facade implementation.
+ */
+
+#include "nanobench.hh"
+
+#include "uarch/uarch.hh"
+
+namespace nb::core
+{
+
+NanoBench::NanoBench(const NanoBenchOptions &options) : options_(options)
+{
+    const auto &ua = uarch::getMicroArch(options.uarch);
+    machine_ = std::make_unique<sim::Machine>(ua, options.seed);
+    runner_ = std::make_unique<Runner>(*machine_, options.mode);
+    if (options_.spec.config.empty()) {
+        if (!options_.configFile.empty()) {
+            options_.spec.config =
+                CounterConfig::parseFile(options_.configFile);
+        }
+    }
+}
+
+} // namespace nb::core

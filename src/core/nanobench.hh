@@ -1,0 +1,56 @@
+/**
+ * @file
+ * High-level facade: the C++ equivalent of nanoBench.sh /
+ * kernel-nanoBench.sh (paper §III-E). One call builds a simulated
+ * machine for the requested microarchitecture, sets up the runner in the
+ * requested mode, and runs the benchmark.
+ */
+
+#ifndef NB_CORE_NANOBENCH_HH
+#define NB_CORE_NANOBENCH_HH
+
+#include <memory>
+#include <string>
+
+#include "core/runner.hh"
+
+namespace nb::core
+{
+
+/** Options mirroring the shell-script command line (§III-E). */
+struct NanoBenchOptions
+{
+    std::string uarch = "Skylake";
+    Mode mode = Mode::Kernel;
+    std::uint64_t seed = 42;
+    /** Path of a counter-config file; empty = the shipped per-uarch
+     *  default (configs/cfg_<uarch>.txt). */
+    std::string configFile;
+    BenchmarkSpec spec;
+};
+
+/** A machine + runner pair ready to execute benchmarks. */
+class NanoBench
+{
+  public:
+    explicit NanoBench(const NanoBenchOptions &options);
+
+    BenchmarkResult run() { return runner_->run(options_.spec); }
+    BenchmarkResult run(const BenchmarkSpec &spec)
+    {
+        return runner_->run(spec);
+    }
+
+    sim::Machine &machine() { return *machine_; }
+    Runner &runner() { return *runner_; }
+    NanoBenchOptions &options() { return options_; }
+
+  private:
+    NanoBenchOptions options_;
+    std::unique_ptr<sim::Machine> machine_;
+    std::unique_ptr<Runner> runner_;
+};
+
+} // namespace nb::core
+
+#endif // NB_CORE_NANOBENCH_HH

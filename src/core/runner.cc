@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Runner implementation.
+ */
+
+#include "runner.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "x86/assembler.hh"
+
+namespace nb::core
+{
+
+using x86::Instruction;
+using x86::Reg;
+
+double
+BenchmarkResult::operator[](const std::string &name) const
+{
+    for (const auto &line : lines) {
+        if (line.name == name)
+            return line.value;
+    }
+    fatal("no result line named '", name, "'");
+}
+
+bool
+BenchmarkResult::has(const std::string &name) const
+{
+    for (const auto &line : lines) {
+        if (line.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::string
+BenchmarkResult::format() const
+{
+    std::ostringstream os;
+    for (const auto &line : lines) {
+        os << line.name << ": " << std::fixed << std::setprecision(2)
+           << line.value << "\n";
+    }
+    return os.str();
+}
+
+Runner::Runner(sim::Machine &machine, Mode mode)
+    : machine_(machine), mode_(mode),
+      alloc_(machine.memory(), &machine.rng(),
+             /*frag_probability=*/mode == Mode::Kernel ? 0.0 : 0.15)
+{
+    machine_.setPrivilege(mode == Mode::Kernel ? sim::Privilege::Kernel
+                                               : sim::Privilege::User);
+    machine_.setRdpmcUserEnabled(true); // the tool sets CR4.PCE
+    setupMemoryAreas();
+}
+
+void
+Runner::setupMemoryAreas()
+{
+    constexpr Addr kAreaSize = 1024 * 1024; // 1 MB each (§III-G)
+    auto alloc_area = [&](const char *what) -> Addr {
+        if (mode_ == Mode::Kernel) {
+            auto a = alloc_.allocContiguous(kAreaSize);
+            NB_ASSERT(a.has_value(), "cannot allocate ", what, " area");
+            return a->vaddr;
+        }
+        // User-space areas are ordinary pages: physically scattered.
+        return alloc_.allocFragmented(kAreaSize).vaddr;
+    };
+    r14Base_ = alloc_area("R14");
+    rdiBase_ = alloc_area("RDI");
+    rsiBase_ = alloc_area("RSI");
+    rbpBase_ = alloc_area("RBP");
+    rspBase_ = alloc_area("RSP");
+    r14Size_ = kAreaSize;
+    // Results/scratch area for the counter readout (memory mode).
+    resultBase_ = alloc_.allocFragmented(layout::kAreaSize).vaddr;
+}
+
+bool
+Runner::reserveR14Area(Addr size)
+{
+    if (mode_ != Mode::Kernel) {
+        warn("reserveR14Area is only available in kernel mode (§III-G)");
+        return false;
+    }
+    auto a = alloc_.allocContiguous(size);
+    if (!a)
+        return false;
+    r14Base_ = a->vaddr;
+    r14Size_ = a->size;
+    return true;
+}
+
+void
+Runner::initRegisters()
+{
+    auto &arch = machine_.arch();
+    arch.writeGpr(Reg::R14, 64, r14Base_);
+    arch.writeGpr(Reg::RDI, 64, rdiBase_);
+    arch.writeGpr(Reg::RSI, 64, rsiBase_);
+    arch.writeGpr(Reg::RBP, 64, rbpBase_ + 0x80000);
+    arch.writeGpr(Reg::RSP, 64, rspBase_ + 0x80000);
+}
+
+void
+Runner::userModeProgrammingOverhead()
+{
+    // Programming counters from user space goes through the perf
+    // subsystem: model the syscall + kernel path as a few thousand
+    // simulated instructions of unmeasured work.
+    static const std::vector<Instruction> syscall_code = [] {
+        std::vector<Instruction> code;
+        code.reserve(4000);
+        for (int i = 0; i < 4000; ++i)
+            code.push_back(x86::assemble("nop")[0]);
+        return code;
+    }();
+    machine_.execute(syscall_code);
+}
+
+std::vector<double>
+Runner::executeOnce(const GenParams &params)
+{
+    auto code = generateMeasurementCode(params);
+
+    // Algorithm 1, lines 2/11: save and restore all registers.
+    sim::ArchState saved = machine_.arch();
+    initRegisters();
+
+    bool kernel = mode_ == Mode::Kernel;
+    bool prev_irq = machine_.interruptsEnabled();
+    if (kernel) {
+        // The kernel version disables interrupts during measurements
+        // (§III-D, §IV-A2).
+        machine_.setInterruptsEnabled(false);
+    }
+
+    machine_.pmu().beginEpoch();
+    machine_.pmu().setPaused(false);
+    machine_.execute(code);
+
+    // Collect raw m2-m1 values.
+    std::vector<double> raw(params.readouts.size(), 0.0);
+    if (params.noMem) {
+        for (std::size_t i = 0; i < params.readouts.size(); ++i) {
+            Reg accum = noMemAccumulators()[i];
+            raw[i] = static_cast<double>(static_cast<std::int64_t>(
+                machine_.arch().readGpr(accum, 64)));
+        }
+    } else {
+        auto &mem = machine_.memory();
+        for (std::size_t i = 0; i < params.readouts.size(); ++i) {
+            std::uint64_t m1 = mem.readVirt(
+                params.resultBase + layout::kM1Offset + 8 * i, 8);
+            std::uint64_t m2 = mem.readVirt(
+                params.resultBase + layout::kM2Offset + 8 * i, 8);
+            raw[i] = static_cast<double>(m2) - static_cast<double>(m1);
+        }
+    }
+
+    if (kernel)
+        machine_.setInterruptsEnabled(prev_irq);
+    machine_.arch() = saved;
+    return raw;
+}
+
+BenchmarkResult
+Runner::run(const BenchmarkSpec &spec)
+{
+    Cycles cycles_begin = machine_.cycles();
+
+    // Assemble body/init if given as text.
+    std::vector<Instruction> body = spec.code;
+    std::vector<Instruction> init = spec.init;
+    if (body.empty() && !spec.asmCode.empty())
+        body = x86::assemble(spec.asmCode);
+    if (init.empty() && !spec.asmInit.empty())
+        init = x86::assemble(spec.asmInit);
+    if (body.empty())
+        fatal("empty benchmark body");
+
+    auto &pmu = machine_.pmu();
+    BenchmarkResult result;
+
+    // Fixed counters first, like the §III-A example output.
+    std::vector<ReadoutItem> fixed_items;
+    if (spec.fixedCounters && pmu.hasFixed()) {
+        fixed_items.push_back({ReadoutItem::Kind::FixedPmc, 0,
+                               "Instructions retired"});
+        fixed_items.push_back(
+            {ReadoutItem::Kind::FixedPmc, 1, "Core cycles"});
+        fixed_items.push_back(
+            {ReadoutItem::Kind::FixedPmc, 2, "Reference cycles"});
+    }
+    if (spec.aperfMperf) {
+        if (mode_ != Mode::Kernel) {
+            fatal("APERF/MPERF can only be read in kernel space "
+                  "(§II-A1)");
+        }
+        fixed_items.push_back(
+            {ReadoutItem::Kind::Msr, sim::msr::kAperf, "APERF"});
+        fixed_items.push_back(
+            {ReadoutItem::Kind::Msr, sim::msr::kMperf, "MPERF"});
+    }
+
+    auto rounds = spec.config.rounds(pmu.numProg());
+    if (rounds.empty())
+        rounds.push_back({}); // fixed counters only
+
+    std::uint64_t normalization =
+        std::max<std::uint64_t>(1, spec.loopCount) * spec.unrollCount;
+
+    bool first_round = true;
+    for (const auto &round : rounds) {
+        // Program the counters for this round.
+        for (unsigned i = 0; i < pmu.numProg(); ++i)
+            pmu.disableProg(i);
+        std::vector<ReadoutItem> items = first_round
+                                             ? fixed_items
+                                             : std::vector<ReadoutItem>{};
+        for (std::size_t i = 0; i < round.size(); ++i) {
+            pmu.configureProg(static_cast<unsigned>(i), round[i].code);
+            items.push_back({ReadoutItem::Kind::ProgPmc,
+                             static_cast<std::uint32_t>(i),
+                             round[i].displayName});
+        }
+        if (mode_ == Mode::User)
+            userModeProgrammingOverhead();
+        if (items.empty())
+            continue;
+
+        GenParams params;
+        params.body = body;
+        params.init = init;
+        params.loopCount = spec.loopCount;
+        params.serialize = spec.serialize;
+        params.noMem = spec.noMem;
+        params.readouts = items;
+        params.resultBase = resultBase_;
+
+        // The two code versions whose difference removes the
+        // measurement overhead (§III-C).
+        std::uint64_t unroll_a = spec.basicMode ? 0 : spec.unrollCount;
+        std::uint64_t unroll_b =
+            spec.basicMode ? spec.unrollCount : 2 * spec.unrollCount;
+
+        std::vector<std::vector<double>> agg_ab;
+        for (std::uint64_t local_unroll : {unroll_a, unroll_b}) {
+            params.localUnrollCount = local_unroll;
+            // Algorithm 2: warm-up runs are executed but discarded.
+            std::vector<std::vector<double>> measurements(items.size());
+            for (int i = -static_cast<int>(spec.warmUpCount);
+                 i < static_cast<int>(spec.nMeasurements); ++i) {
+                auto raw = executeOnce(params);
+                if (i >= 0) {
+                    for (std::size_t k = 0; k < raw.size(); ++k)
+                        measurements[k].push_back(raw[k]);
+                }
+            }
+            std::vector<double> agg(items.size());
+            for (std::size_t k = 0; k < items.size(); ++k)
+                agg[k] = applyAggregate(spec.agg,
+                                        std::move(measurements[k]));
+            agg_ab.push_back(std::move(agg));
+        }
+
+        // In both modes the two versions differ by exactly
+        // loopCount * unrollCount body executions.
+        double denom = static_cast<double>(normalization);
+        for (std::size_t k = 0; k < items.size(); ++k) {
+            double diff = agg_ab[1][k] - agg_ab[0][k];
+            result.lines.push_back({items[k].name, diff / denom});
+        }
+        first_round = false;
+    }
+
+    lastRunCycles_ = machine_.cycles() - cycles_begin;
+    return result;
+}
+
+} // namespace nb::core

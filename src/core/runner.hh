@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The nanoBench benchmark runner (paper Algorithm 2, §III).
+ *
+ * Runs a microbenchmark: programs the counters (in rounds if there are
+ * more events than programmable counters, §III-J), performs warm-up runs
+ * (§III-H), runs the generated code nMeasurements times, applies the
+ * aggregate (§III-C), and removes measurement overhead by running two
+ * code versions (localUnrollCount = unrollCount and 2x unrollCount, or 0
+ * in basic mode) and reporting the normalized difference (§III-C).
+ *
+ * Two modes mirror the two nanoBench variants (§III-D):
+ *  - Kernel: privileged instructions allowed, interrupts disabled during
+ *    measurements, APERF/MPERF and uncore counters readable, memory
+ *    areas backed by physically-contiguous pages, and an optional large
+ *    physically-contiguous R14 area (§III-G, §IV-D).
+ *  - User: no privileged instructions, timer interrupts perturb runs,
+ *    memory areas are backed by scattered physical pages, and counter
+ *    (re)programming costs simulated syscalls.
+ */
+
+#ifndef NB_CORE_RUNNER_HH
+#define NB_CORE_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/codegen.hh"
+#include "core/config.hh"
+#include "kernel/kalloc.hh"
+#include "sim/machine.hh"
+
+namespace nb::core
+{
+
+/** Which nanoBench variant to model (§III-D). */
+enum class Mode : std::uint8_t
+{
+    User,
+    Kernel,
+};
+
+/** User-visible benchmark parameters (the CLI options, §III). */
+struct BenchmarkSpec
+{
+    /** Benchmark body (Intel-syntax assembly, §III-E). */
+    std::string asmCode;
+    /** Initialization part, not measured (§III-A). */
+    std::string asmInit;
+    /** Pre-assembled alternatives to the strings above. */
+    std::vector<x86::Instruction> code;
+    std::vector<x86::Instruction> init;
+
+    std::uint64_t unrollCount = 1;
+    std::uint64_t loopCount = 0;
+    unsigned nMeasurements = 10;
+    unsigned warmUpCount = 0;
+    Aggregate agg = Aggregate::Median;
+    /** Second run uses localUnrollCount=0 instead of 2x (§III-C). */
+    bool basicMode = false;
+    bool noMem = false;
+    SerializeMode serialize = SerializeMode::Lfence;
+    /** Also read the fixed-function counters (Intel). */
+    bool fixedCounters = true;
+    /** Read APERF/MPERF via RDMSR (kernel mode only, §II-A1). */
+    bool aperfMperf = false;
+    /** Programmable events. */
+    CounterConfig config;
+};
+
+/** One output line: event name and per-iteration value. */
+struct ResultLine
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/** Benchmark output. */
+struct BenchmarkResult
+{
+    std::vector<ResultLine> lines;
+
+    /** Value of a line by name; @throws nb::FatalError if absent. */
+    double operator[](const std::string &name) const;
+    bool has(const std::string &name) const;
+
+    /** Render like the paper's §III-A example output. */
+    std::string format() const;
+};
+
+/** The benchmark runner; owns the memory-area setup for one machine. */
+class Runner
+{
+  public:
+    Runner(sim::Machine &machine, Mode mode);
+
+    Mode mode() const { return mode_; }
+    sim::Machine &machine() { return machine_; }
+    kernel::KernelAllocator &allocator() { return alloc_; }
+
+    /** Run a benchmark and return the aggregated, normalized results. */
+    BenchmarkResult run(const BenchmarkSpec &spec);
+
+    /**
+     * Reserve a physically-contiguous memory area of @p size bytes that
+     * R14 will point to (kernel mode only; §III-G / §IV-D). Returns
+     * false if the greedy allocation failed (reboot suggested).
+     */
+    bool reserveR14Area(Addr size);
+
+    /** Base virtual addresses of the dedicated memory areas (§III-G). */
+    Addr r14Area() const { return r14Base_; }
+    Addr rdiArea() const { return rdiBase_; }
+    Addr rsiArea() const { return rsiBase_; }
+    Addr rbpArea() const { return rbpBase_; }
+    Addr rspArea() const { return rspBase_; }
+    /** Size of the R14 area (1 MB unless reserveR14Area enlarged it). */
+    Addr r14AreaSize() const { return r14Size_; }
+
+    /** Total simulated cycles spent in the last run() call (for the
+     *  §III-K execution-time experiment). */
+    Cycles lastRunCycles() const { return lastRunCycles_; }
+
+  private:
+    void setupMemoryAreas();
+    void initRegisters();
+    /** Models the syscall cost of (re)programming counters in user
+     *  mode. */
+    void userModeProgrammingOverhead();
+
+    /** Raw m2-m1 values for one generated-code execution. */
+    std::vector<double> executeOnce(const GenParams &params);
+
+    sim::Machine &machine_;
+    Mode mode_;
+    kernel::KernelAllocator alloc_;
+    Addr r14Base_ = 0;
+    Addr rdiBase_ = 0;
+    Addr rsiBase_ = 0;
+    Addr rbpBase_ = 0;
+    Addr rspBase_ = 0;
+    Addr resultBase_ = 0;
+    Addr r14Size_ = 0;
+    Cycles lastRunCycles_ = 0;
+};
+
+} // namespace nb::core
+
+#endif // NB_CORE_RUNNER_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Kernel-allocator implementation.
+ */
+
+#include "kalloc.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace nb::kernel
+{
+
+KernelAllocator::KernelAllocator(sim::Memory &mem, Rng *rng,
+                                 double frag_probability)
+    : mem_(mem), rng_(rng), fragProbability_(frag_probability)
+{
+    NB_ASSERT(rng != nullptr, "KernelAllocator requires an RNG");
+}
+
+Addr
+KernelAllocator::allocPhys(Addr pages)
+{
+    // Fragmentation: some other kernel allocation grabbed pages since
+    // our last call.
+    if (fragProbability_ > 0.0 && rng_->nextDouble() < fragProbability_)
+        nextPhys_ += kPageSize * rng_->nextRange(1, 64);
+    Addr base = nextPhys_;
+    nextPhys_ += pages * kPageSize;
+    return base;
+}
+
+Addr
+KernelAllocator::allocVirt(Addr pages)
+{
+    Addr base = nextVirt_;
+    nextVirt_ += pages * kPageSize;
+    return base;
+}
+
+Allocation
+KernelAllocator::kmalloc(Addr size)
+{
+    NB_ASSERT(size > 0 && size <= kKmallocMax,
+              "kmalloc size must be in (0, 4 MB], got ", size);
+    Addr pages = alignUp(size, kPageSize) / kPageSize;
+    Allocation a;
+    a.size = pages * kPageSize;
+    a.paddr = allocPhys(pages);
+    a.vaddr = allocVirt(pages);
+    for (Addr i = 0; i < pages; ++i) {
+        mem_.pageTable().mapPage(a.vaddr + i * kPageSize,
+                                 a.paddr + i * kPageSize);
+    }
+    return a;
+}
+
+std::optional<Allocation>
+KernelAllocator::allocContiguous(Addr size, unsigned max_attempts)
+{
+    Addr needed = alignUp(size, kPageSize);
+
+    // Greedy algorithm (§IV-D): keep kmalloc-ing chunks; whenever a
+    // chunk is not physically adjacent to the current run, restart the
+    // run from that chunk. Budget a few non-adjacent restarts beyond
+    // the minimum number of chunks.
+    Addr min_chunks = (needed + kKmallocMax - 1) / kKmallocMax;
+    max_attempts = std::max<unsigned>(
+        max_attempts, static_cast<unsigned>(4 * min_chunks));
+    std::vector<Allocation> run;
+    Addr run_bytes = 0;
+    unsigned attempts = 0;
+    while (run_bytes < needed) {
+        if (attempts++ >= max_attempts) {
+            warn("allocContiguous: no physically-contiguous run of ",
+                 needed, " bytes after ", max_attempts,
+                 " kmalloc calls; a reboot would be proposed");
+            return std::nullopt;
+        }
+        Addr chunk = std::min<Addr>(kKmallocMax, needed - run_bytes);
+        Allocation a = kmalloc(chunk);
+        bool adjacent =
+            !run.empty() &&
+            run.back().paddr + run.back().size == a.paddr &&
+            run.back().vaddr + run.back().size == a.vaddr;
+        if (run.empty() || adjacent) {
+            run.push_back(a);
+            run_bytes += a.size;
+        } else {
+            run.assign(1, a);
+            run_bytes = a.size;
+        }
+    }
+
+    Allocation result;
+    result.vaddr = run.front().vaddr;
+    result.paddr = run.front().paddr;
+    result.size = run_bytes;
+    return result;
+}
+
+Allocation
+KernelAllocator::allocFragmented(Addr size)
+{
+    Addr pages = alignUp(size, kPageSize) / kPageSize;
+    Allocation a;
+    a.size = pages * kPageSize;
+    a.vaddr = allocVirt(pages);
+
+    // Allocate physical pages one by one and shuffle their assignment,
+    // so that consecutive virtual pages land on scattered frames.
+    std::vector<Addr> frames(pages);
+    for (Addr i = 0; i < pages; ++i) {
+        nextPhys_ += kPageSize * rng_->nextRange(0, 3); // holes
+        frames[i] = nextPhys_;
+        nextPhys_ += kPageSize;
+    }
+    for (Addr i = pages; i > 1; --i) {
+        Addr j = rng_->nextBelow(i);
+        std::swap(frames[i - 1], frames[j]);
+    }
+    a.paddr = frames[0];
+    for (Addr i = 0; i < pages; ++i) {
+        mem_.pageTable().mapPage(a.vaddr + i * kPageSize, frames[i]);
+    }
+    return a;
+}
+
+void
+KernelAllocator::reboot()
+{
+    nextPhys_ = kPhysBase;
+    nextVirt_ = kVirtBase;
+}
+
+} // namespace nb::kernel

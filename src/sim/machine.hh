@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The simulated machine: one x86-64 core with an out-of-order back-end,
+ * a PMU, a cache hierarchy, virtual memory, and an interrupt model.
+ *
+ * Timing model. Instructions are executed sequentially for semantics,
+ * while timing is computed with a dataflow scheduler: each µop dispatches
+ * to one of its allowed execution ports no earlier than (a) its issue
+ * cycle (bounded by the issue width and the scheduler window), (b) the
+ * cycle its register/memory inputs are ready, (c) the port's next free
+ * cycle, and (d) any pending dispatch fence. Load µops take their latency
+ * from the cache hierarchy. Retirement is in order.
+ *
+ * This reproduces the behaviours the paper's methodology depends on:
+ *  - counter-reading instructions (RDPMC/RDMSR) are *not* serializing:
+ *    without a fence they dispatch as soon as their inputs are ready and
+ *    sample the counters at that early cycle (§IV-A1);
+ *  - LFENCE dispatches only after all older instructions have completed
+ *    locally and blocks younger ones until it completes (§IV-A1);
+ *  - CPUID serializes too, but contributes a variable latency and µop
+ *    count of its own (Paoloni's observation, §IV-A1);
+ *  - timer interrupts perturb counts unless disabled (kernel mode,
+ *    §III-D / §IV-A2);
+ *  - privileged instructions fault outside kernel mode (§III-D).
+ */
+
+#ifndef NB_SIM_MACHINE_HH
+#define NB_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+#include "sim/arch_state.hh"
+#include "sim/memory.hh"
+#include "sim/pmu.hh"
+#include "sim/tlb.hh"
+#include "uarch/uarch.hh"
+#include "x86/instruction.hh"
+
+namespace nb::sim
+{
+
+/** Current privilege level of the simulated core. */
+enum class Privilege : std::uint8_t
+{
+    User,
+    Kernel,
+};
+
+/** Model-specific register addresses implemented by the machine. */
+namespace msr
+{
+inline constexpr std::uint32_t kMperf = 0xE7;
+inline constexpr std::uint32_t kAperf = 0xE8;
+inline constexpr std::uint32_t kPerfEvtSel0 = 0x186; ///< +i per counter
+inline constexpr std::uint32_t kPmc0 = 0xC1;         ///< +i per counter
+inline constexpr std::uint32_t kPrefetchControl = 0x1A4;
+inline constexpr std::uint32_t kFixedCtr0 = 0x309;   ///< +i per counter
+/** Uncore C-Box counters (lookups/hits/misses per slice). */
+inline constexpr std::uint32_t kCboxLookupBase = 0x700; ///< +slice
+inline constexpr std::uint32_t kCboxHitBase = 0x720;    ///< +slice
+inline constexpr std::uint32_t kCboxMissBase = 0x740;   ///< +slice
+} // namespace msr
+
+/** Statistics of one execute() call. */
+struct ExecStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t uops = 0;
+    Cycles startCycle = 0;
+    Cycles endCycle = 0;
+    std::uint64_t interrupts = 0;
+
+    Cycles cycles() const { return endCycle - startCycle; }
+};
+
+/** One simulated x86-64 core plus its memory system. */
+class Machine
+{
+  public:
+    Machine(const uarch::MicroArch &ua, std::uint64_t seed = 42);
+
+    const uarch::MicroArch &uarch() const { return uarch_; }
+    ArchState &arch() { return arch_; }
+    Memory &memory() { return memory_; }
+    Pmu &pmu() { return pmu_; }
+    cache::Hierarchy &caches() { return caches_; }
+    Tlb &tlb() { return tlb_; }
+    Rng &rng() { return rng_; }
+
+    void setPrivilege(Privilege p) { privilege_ = p; }
+    Privilege privilege() const { return privilege_; }
+
+    /** Master toggle for the timer-interrupt model. */
+    void setInterruptsEnabled(bool enabled);
+    bool interruptsEnabled() const { return interruptsEnabled_; }
+
+    /** CR4.PCE: whether RDPMC is allowed in user mode (§II). */
+    void setRdpmcUserEnabled(bool enabled) { rdpmcUser_ = enabled; }
+
+    /** Monotonic cycle clock (completion frontier of all issued work). */
+    Cycles cycles() const { return sched_.maxCompletion; }
+
+    /**
+     * Execute a code sequence until control falls off the end.
+     *
+     * @throws nb::FatalError on faults (privilege violation, page fault,
+     *         divide error) and on exceeding the instruction budget.
+     */
+    ExecStats execute(const std::vector<x86::Instruction> &code);
+
+    /** Instruction budget per execute() call (runaway-loop guard). */
+    void setMaxInstructions(std::uint64_t budget) { maxInstr_ = budget; }
+
+    /** MSR file (RDMSR/WRMSR reach this; also usable from C++). */
+    std::uint64_t readMsr(std::uint32_t addr);
+    void writeMsr(std::uint32_t addr, std::uint64_t value);
+
+    /** MSR read sampled "as of" a specific cycle (counter MSRs only
+     *  differ from readMsr by the sampling point). */
+    std::uint64_t readMsrAt(std::uint32_t addr, Cycles cycle);
+
+  private:
+    // ------------------------------------------------ timing machinery
+    struct Scheduler
+    {
+        std::array<Cycles, static_cast<unsigned>(x86::Reg::NumRegs)>
+            regReady{};
+        Cycles flagsReady = 0;
+        std::vector<Cycles> portFree;
+        Cycles issueCycle = 0;
+        unsigned issuedInCycle = 0;
+        Cycles minDispatch = 0;   ///< dispatch fence (LFENCE/CPUID)
+        Cycles maxCompletion = 0; ///< completion frontier
+        Cycles lastRetire = 0;
+        unsigned retiredInCycle = 0;
+        std::deque<Cycles> window; ///< in-flight µop completions
+        /** µops dispatched per port (tie-break: least-loaded port). */
+        std::vector<std::uint64_t> portUse;
+    };
+
+    /** Account one issue slot; returns the issue cycle. */
+    Cycles issueSlot(unsigned effective_issue_width);
+
+    /** Dispatch/completion cycles of one µop. */
+    struct UopTiming
+    {
+        Cycles dispatch;
+        Cycles done;
+    };
+
+    /**
+     * Dispatch a µop. Picks the allowed port with the earliest dispatch
+     * cycle (round-robin tie-break), accounts port-dispatch events, and
+     * returns the dispatch and completion cycles.
+     */
+    UopTiming dispatchUop(uarch::PortMask ports, Cycles ready,
+                          unsigned latency, unsigned block_cycles);
+
+    void retireInstr(Cycles completion, bool is_branch, bool mispredicted);
+
+    // --------------------------------------------------- execution core
+    struct ExecContext
+    {
+        const std::vector<x86::Instruction> *code = nullptr;
+        std::size_t nextIdx = 0;
+        ExecStats stats;
+        unsigned effectiveIssueWidth = 4;
+    };
+
+    void executeInstr(const x86::Instruction &insn, ExecContext &ctx);
+
+    /** Memory helpers (semantics + timing + events). */
+    Addr effectiveAddress(const x86::MemRef &mem) const;
+    /** Performs the cache access + phys read; returns (value, latency).*/
+    std::pair<std::uint64_t, Cycles> loadValue(Addr vaddr, unsigned bytes);
+    void storeValue(Addr vaddr, std::uint64_t value, unsigned bytes);
+    VecReg loadVec(Addr vaddr, unsigned bytes, Cycles *latency);
+    void storeVec(Addr vaddr, const VecReg &value, unsigned bytes);
+
+    void requirePrivilege(const x86::Instruction &insn) const;
+
+    /** Inject a timer interrupt if one is due. */
+    void maybeInterrupt(ExecContext &ctx);
+    void scheduleNextInterrupt();
+
+    /** Count a PMU event at a cycle. */
+    void count(EventId e, std::uint64_t n, Cycles at);
+
+    /** Count load-hit-level events for a finished load. */
+    void countLoadLevel(const cache::AccessResult &res, Cycles at);
+
+    // ------------------------------------------------------ members
+    const uarch::MicroArch &uarch_;
+    uarch::PortLayout ports_;
+    Rng rng_;
+    ArchState arch_;
+    Memory memory_;
+    Pmu pmu_;
+    cache::Hierarchy caches_;
+    Tlb tlb_;
+    Scheduler sched_;
+    Privilege privilege_ = Privilege::User;
+    bool interruptsEnabled_ = true;
+    bool rdpmcUser_ = true;
+    std::uint64_t maxInstr_ = 50'000'000;
+    Cycles nextInterrupt_ = 0;
+
+    /** Branch predictor: 2-bit saturating counters per code index. */
+    std::unordered_map<std::size_t, std::uint8_t> branchTable_;
+};
+
+} // namespace nb::sim
+
+#endif // NB_SIM_MACHINE_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * PMU implementation.
+ */
+
+#include "pmu.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nb::sim
+{
+
+Pmu::Pmu(unsigned num_prog, bool has_fixed, double ref_ratio)
+    : numProg_(num_prog), hasFixed_(has_fixed), refRatio_(ref_ratio),
+      progSel_(num_prog, EventId::NumEvents)
+{
+    NB_ASSERT(num_prog >= 1 && num_prog <= 8,
+              "unsupported programmable counter count ", num_prog);
+}
+
+bool
+Pmu::configureProg(unsigned idx, EventCode code)
+{
+    NB_ASSERT(idx < numProg_, "counter index out of range: ", idx);
+    auto info = findEvent(code);
+    if (!info)
+        return false;
+    progSel_[idx] = info->id;
+    return true;
+}
+
+void
+Pmu::disableProg(unsigned idx)
+{
+    NB_ASSERT(idx < numProg_, "counter index out of range: ", idx);
+    progSel_[idx] = EventId::NumEvents;
+}
+
+EventId
+Pmu::progEvent(unsigned idx) const
+{
+    NB_ASSERT(idx < numProg_, "counter index out of range: ", idx);
+    return progSel_[idx];
+}
+
+bool
+Pmu::eventLogged(EventId event) const
+{
+    if (event == EventId::InstrRetired)
+        return true;
+    for (EventId sel : progSel_) {
+        if (sel == event)
+            return true;
+    }
+    return false;
+}
+
+void
+Pmu::count(EventId event, std::uint64_t n, Cycles cycle)
+{
+    if (paused_ || n == 0)
+        return;
+    auto idx = static_cast<unsigned>(event);
+    NB_ASSERT(idx < kNumEvents, "bad event id");
+    totals_[idx] += n;
+    if (eventLogged(event)) {
+        logs_[idx].push_back(
+            Increment{cycle, static_cast<std::uint32_t>(n)});
+    }
+}
+
+void
+Pmu::beginEpoch()
+{
+    for (unsigned i = 0; i < kNumEvents; ++i) {
+        epochBase_[i] = totals_[i];
+        logs_[i].clear();
+    }
+}
+
+std::uint64_t
+Pmu::sample(EventId event, Cycles cycle) const
+{
+    auto idx = static_cast<unsigned>(event);
+    std::uint64_t value = epochBase_[idx];
+    // Increments arrive in program order but are tagged with the cycle
+    // they occur at, which is not monotone under out-of-order timing;
+    // scan linearly (reads are rare -- a handful per run).
+    for (const auto &inc : logs_[idx]) {
+        if (inc.cycle <= cycle)
+            value += inc.n;
+    }
+    return value;
+}
+
+std::uint64_t
+Pmu::readProg(unsigned idx, Cycles cycle) const
+{
+    NB_ASSERT(idx < numProg_, "counter index out of range: ", idx);
+    EventId sel = progSel_[idx];
+    if (sel == EventId::NumEvents)
+        return 0;
+    return sample(sel, cycle);
+}
+
+std::uint64_t
+Pmu::readFixed(unsigned idx, Cycles cycle) const
+{
+    NB_ASSERT(hasFixed_, "no fixed counters on this CPU");
+    switch (idx) {
+      case 0:
+        return sample(EventId::InstrRetired, cycle);
+      case 1:
+        return cycle;
+      case 2:
+        return static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(cycle) * refRatio_));
+      default:
+        fatal("bad fixed counter index ", idx);
+    }
+}
+
+std::uint64_t
+Pmu::aperf(Cycles cycle) const
+{
+    return cycle;
+}
+
+std::uint64_t
+Pmu::mperf(Cycles cycle) const
+{
+    return static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(cycle) * refRatio_));
+}
+
+std::uint64_t
+Pmu::total(EventId event) const
+{
+    return totals_[static_cast<unsigned>(event)];
+}
+
+} // namespace nb::sim

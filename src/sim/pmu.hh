@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Performance monitoring unit of the simulated core (paper §II).
+ *
+ * Models:
+ *  - three Intel fixed-function counters (instructions retired, core
+ *    cycles, reference cycles), readable with RDPMC (§II-A1);
+ *  - APERF/MPERF, readable only with RDMSR (kernel space, §II-A1);
+ *  - N programmable counters with event selection (§II-A2);
+ *  - time-resolved sampling: every increment is tagged with the cycle it
+ *    occurred at, and reads sample "as of" the cycle the reading µop
+ *    executes. This is what makes the serialization experiments
+ *    (§IV-A1) meaningful: an unfenced RDPMC executes early and samples
+ *    an earlier cycle.
+ *  - global pause/resume gating used by the magic-byte feature (§III-I).
+ */
+
+#ifndef NB_SIM_PMU_HH
+#define NB_SIM_PMU_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/events.hh"
+
+namespace nb::sim
+{
+
+/** Index base for fixed counters in RDPMC (as on real Intel CPUs). */
+inline constexpr std::uint32_t kRdpmcFixedBase = 0x40000000;
+
+/** The PMU of one simulated logical core. */
+class Pmu
+{
+  public:
+    /**
+     * @param num_prog Number of programmable counters.
+     * @param has_fixed Intel-style fixed counters present.
+     * @param ref_ratio Reference-clock to core-clock frequency ratio.
+     */
+    Pmu(unsigned num_prog, bool has_fixed, double ref_ratio);
+
+    unsigned numProg() const { return numProg_; }
+    bool hasFixed() const { return hasFixed_; }
+
+    /** Program counter @p idx to count the event with @p code.
+     *  Returns false if the code is not in the catalog. */
+    bool configureProg(unsigned idx, EventCode code);
+
+    /** Disable counter @p idx. */
+    void disableProg(unsigned idx);
+
+    /** Event configured on a counter (NumEvents if disabled). */
+    EventId progEvent(unsigned idx) const;
+
+    /** Record @p n occurrences of @p event at @p cycle. */
+    void count(EventId event, std::uint64_t n, Cycles cycle);
+
+    /** Pause/resume all counting (magic-byte feature, §III-I). */
+    void setPaused(bool paused) { paused_ = paused; }
+    bool isPaused() const { return paused_; }
+
+    /**
+     * Start a new sampling epoch: drops the time-resolved logs (their
+     * totals are folded into the epoch base). Called before each
+     * generated-code run to bound memory.
+     */
+    void beginEpoch();
+
+    /** Value of programmable counter @p idx as of @p cycle. */
+    std::uint64_t readProg(unsigned idx, Cycles cycle) const;
+
+    /** Value of fixed counter @p idx (0 = instructions retired,
+     *  1 = core cycles, 2 = reference cycles) as of @p cycle. */
+    std::uint64_t readFixed(unsigned idx, Cycles cycle) const;
+
+    /** APERF (core clock) / MPERF (reference clock) MSR values. */
+    std::uint64_t aperf(Cycles cycle) const;
+    std::uint64_t mperf(Cycles cycle) const;
+
+    /** Total (end-of-time) value of a semantic event; for tests. */
+    std::uint64_t total(EventId event) const;
+
+  private:
+    struct Increment
+    {
+        Cycles cycle;
+        std::uint32_t n;
+    };
+
+    bool eventLogged(EventId event) const;
+    std::uint64_t sample(EventId event, Cycles cycle) const;
+
+    unsigned numProg_;
+    bool hasFixed_;
+    double refRatio_;
+    bool paused_ = false;
+
+    /** Event selection per programmable counter. */
+    std::vector<EventId> progSel_;
+
+    /** Scalar totals per semantic event. */
+    std::array<std::uint64_t, kNumEvents> totals_{};
+    /** Epoch-base totals per semantic event. */
+    std::array<std::uint64_t, kNumEvents> epochBase_{};
+    /** Time-resolved increments since the epoch began (selected events
+     *  and InstrRetired only). */
+    std::array<std::vector<Increment>, kNumEvents> logs_{};
+};
+
+} // namespace nb::sim
+
+#endif // NB_SIM_PMU_HH

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * The microarchitecture registry. Cache policies follow Table I of the
+ * paper; adaptive (set-dueling) L3 configurations follow §VI-D.
+ */
+
+#include "uarch.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace nb::uarch
+{
+
+namespace
+{
+
+using cache::DuelingConfig;
+using cache::DuelRole;
+using cache::LeaderRange;
+
+constexpr Addr kKB = 1024;
+constexpr Addr kMB = 1024 * 1024;
+
+/** Standard L1: 32 kB, 8-way, PLRU on every CPU in Table I. */
+cache::LevelConfig
+l1Plru()
+{
+    return {32 * kKB, 8, "PLRU"};
+}
+
+/** The IvB/HSW/BDW leader-set layout (§VI-D): sets 512-575 use policy A,
+ *  sets 768-831 use policy B. */
+std::vector<LeaderRange>
+leaderSets(int slice_a, int slice_b)
+{
+    return {
+        {slice_a, 512, 575, DuelRole::LeaderA},
+        {slice_b, 768, 831, DuelRole::LeaderB},
+    };
+}
+
+MicroArch
+makeIntelBase()
+{
+    MicroArch m;
+    m.vendor = Vendor::Intel;
+    m.numProgCounters = 4;
+    m.hasFixedCounters = true;
+    m.hasAperfMperf = true;
+    m.hasUncoreCounters = true;
+    m.cacheConfig.l1 = l1Plru();
+    m.cacheConfig.l1Latency = 4;
+    m.cacheConfig.l2Latency = 12;
+    m.cacheConfig.memLatency = 200;
+    return m;
+}
+
+std::map<std::string, MicroArch>
+buildRegistry()
+{
+    std::map<std::string, MicroArch> reg;
+
+    // ---- Nehalem: Core i5-750 -------------------------------------
+    {
+        MicroArch m = makeIntelBase();
+        m.name = "Nehalem";
+        m.cpu = "Core i5-750";
+        m.family = PortFamily::Nehalem;
+        m.cacheConfig.l2 = {256 * kKB, 8, "PLRU"};
+        m.cacheConfig.l3 = {8 * kMB, 16, "MRU"};
+        m.cacheConfig.l3Slices = 1;
+        m.cacheConfig.l3Latency = 40;
+        reg[m.name] = m;
+    }
+    // ---- Westmere: Core i5-650 ------------------------------------
+    {
+        MicroArch m = makeIntelBase();
+        m.name = "Westmere";
+        m.cpu = "Core i5-650";
+        m.family = PortFamily::Nehalem;
+        m.cacheConfig.l2 = {256 * kKB, 8, "PLRU"};
+        m.cacheConfig.l3 = {4 * kMB, 16, "MRU"};
+        m.cacheConfig.l3Slices = 1;
+        m.cacheConfig.l3Latency = 40;
+        reg[m.name] = m;
+    }
+    // ---- Sandy Bridge: Core i7-2600 -------------------------------
+    {
+        MicroArch m = makeIntelBase();
+        m.name = "SandyBridge";
+        m.cpu = "Core i7-2600";
+        m.family = PortFamily::SandyBridge;
+        m.cacheConfig.l2 = {256 * kKB, 8, "PLRU"};
+        m.cacheConfig.l3 = {8 * kMB, 16, "MRU_SBV"};
+        m.cacheConfig.l3Slices = 4;
+        m.cacheConfig.l3Latency = 28;
+        reg[m.name] = m;
+    }
+    // ---- Ivy Bridge: Core i5-3470 (adaptive L3, §VI-D) ------------
+    {
+        MicroArch m = makeIntelBase();
+        m.name = "IvyBridge";
+        m.cpu = "Core i5-3470";
+        m.family = PortFamily::SandyBridge;
+        m.cacheConfig.l2 = {256 * kKB, 8, "PLRU"};
+        m.cacheConfig.l3 = {6 * kMB, 12, ""};
+        m.cacheConfig.l3Slices = 4;
+        m.cacheConfig.l3Latency = 30;
+        m.cacheConfig.l3Dueling.policyA = "QLRU_H11_M1_R1_U2";
+        m.cacheConfig.l3Dueling.policyB = "QLRU_H11_MR161_R1_U2";
+        m.cacheConfig.l3Dueling.leaders = leaderSets(-1, -1);
+        reg[m.name] = m;
+    }
+    // ---- Haswell: Xeon E3-1225 v3 (leaders in slice 0 only) -------
+    {
+        MicroArch m = makeIntelBase();
+        m.name = "Haswell";
+        m.cpu = "Xeon E3-1225 v3";
+        m.family = PortFamily::Haswell;
+        m.cacheConfig.l2 = {256 * kKB, 8, "PLRU"};
+        m.cacheConfig.l3 = {8 * kMB, 16, ""};
+        m.cacheConfig.l3Slices = 4;
+        m.cacheConfig.l3Latency = 34;
+        m.cacheConfig.l3Dueling.policyA = "QLRU_H11_M1_R0_U0";
+        m.cacheConfig.l3Dueling.policyB = "QLRU_H11_MR161_R0_U0";
+        m.cacheConfig.l3Dueling.leaders = leaderSets(0, 0);
+        reg[m.name] = m;
+    }
+    // ---- Broadwell: Core i5-5200U (leader groups cross slices) ----
+    {
+        MicroArch m = makeIntelBase();
+        m.name = "Broadwell";
+        m.cpu = "Core i5-5200U";
+        m.family = PortFamily::Haswell;
+        m.cacheConfig.l2 = {256 * kKB, 8, "PLRU"};
+        m.cacheConfig.l3 = {3 * kMB, 12, ""};
+        m.cacheConfig.l3Slices = 2;
+        m.cacheConfig.l3Latency = 34;
+        m.cacheConfig.l3Dueling.policyA = "QLRU_H11_M1_R0_U0";
+        m.cacheConfig.l3Dueling.policyB = "QLRU_H11_MR161_R0_U0";
+        // Policy A: sets 512-575 in slice 0 and 768-831 in slice 1;
+        // policy B: the opposite pairing (§VI-D).
+        m.cacheConfig.l3Dueling.leaders = {
+            {0, 512, 575, DuelRole::LeaderA},
+            {1, 768, 831, DuelRole::LeaderA},
+            {1, 512, 575, DuelRole::LeaderB},
+            {0, 768, 831, DuelRole::LeaderB},
+        };
+        reg[m.name] = m;
+    }
+    // ---- Skylake: Core i7-6500U -----------------------------------
+    {
+        MicroArch m = makeIntelBase();
+        m.name = "Skylake";
+        m.cpu = "Core i7-6500U";
+        m.family = PortFamily::Skylake;
+        m.cacheConfig.l2 = {256 * kKB, 4, "QLRU_H00_M1_R2_U1"};
+        m.cacheConfig.l3 = {4 * kMB, 16, "QLRU_H11_M1_R0_U0"};
+        m.cacheConfig.l3Slices = 2;
+        m.cacheConfig.l3Latency = 42;
+        reg[m.name] = m;
+    }
+    // ---- Kaby Lake: Core i7-7700 ----------------------------------
+    {
+        MicroArch m = makeIntelBase();
+        m.name = "KabyLake";
+        m.cpu = "Core i7-7700";
+        m.family = PortFamily::Skylake;
+        m.cacheConfig.l2 = {256 * kKB, 4, "QLRU_H00_M1_R2_U1"};
+        m.cacheConfig.l3 = {8 * kMB, 16, "QLRU_H11_M1_R0_U0"};
+        m.cacheConfig.l3Slices = 4;
+        m.cacheConfig.l3Latency = 42;
+        reg[m.name] = m;
+    }
+    // ---- Coffee Lake: Core i7-8700K -------------------------------
+    {
+        MicroArch m = makeIntelBase();
+        m.name = "CoffeeLake";
+        m.cpu = "Core i7-8700K";
+        m.family = PortFamily::Skylake;
+        m.cacheConfig.l2 = {256 * kKB, 4, "QLRU_H00_M1_R2_U1"};
+        m.cacheConfig.l3 = {8 * kMB, 16, "QLRU_H11_M1_R0_U0"};
+        m.cacheConfig.l3Slices = 4;
+        m.cacheConfig.l3Latency = 42;
+        reg[m.name] = m;
+    }
+    // ---- Cannon Lake: Core i3-8121U -------------------------------
+    {
+        MicroArch m = makeIntelBase();
+        m.name = "CannonLake";
+        m.cpu = "Core i3-8121U";
+        m.family = PortFamily::Skylake;
+        m.cacheConfig.l2 = {256 * kKB, 4, "QLRU_H00_M1_R0_U1"};
+        m.cacheConfig.l3 = {4 * kMB, 16, "QLRU_H11_M1_R0_U0"};
+        m.cacheConfig.l3Slices = 2;
+        m.cacheConfig.l3Latency = 42;
+        reg[m.name] = m;
+    }
+    // ---- AMD Zen: Ryzen 7 1700 ------------------------------------
+    {
+        MicroArch m;
+        m.name = "Zen";
+        m.cpu = "Ryzen 7 1700";
+        m.vendor = Vendor::Amd;
+        m.family = PortFamily::Zen;
+        m.numProgCounters = 6;
+        m.hasFixedCounters = false; // no Intel-style fixed RDPMC counters
+        m.hasAperfMperf = true;     // family 17h (§II-A1)
+        m.hasUncoreCounters = false;
+        m.issueWidth = 5;
+        m.retireWidth = 5;
+        m.cacheConfig.l1 = {32 * kKB, 8, "LRU"};
+        m.cacheConfig.l2 = {512 * kKB, 8, "LRU"};
+        m.cacheConfig.l3 = {8 * kMB, 16, "LRU"};
+        m.cacheConfig.l3Slices = 1;
+        m.cacheConfig.l1Latency = 4;
+        m.cacheConfig.l2Latency = 17;
+        m.cacheConfig.l3Latency = 40;
+        m.cacheConfig.memLatency = 220;
+        // The paper could not disable prefetching on AMD (§VI-D).
+        m.cacheConfig.prefetcherDisableSupported = false;
+        reg[m.name] = m;
+    }
+
+    return reg;
+}
+
+const std::map<std::string, MicroArch> &
+registry()
+{
+    static const std::map<std::string, MicroArch> reg = buildRegistry();
+    return reg;
+}
+
+} // namespace
+
+const MicroArch &
+getMicroArch(const std::string &name)
+{
+    auto it = registry().find(name);
+    if (it == registry().end())
+        fatal("unknown microarchitecture '", name, "'");
+    return it->second;
+}
+
+std::vector<std::string>
+tableOneMicroArchNames()
+{
+    return {
+        "Nehalem", "Westmere", "SandyBridge", "IvyBridge", "Haswell",
+        "Broadwell", "Skylake", "KabyLake", "CoffeeLake", "CannonLake",
+    };
+}
+
+std::vector<std::string>
+allMicroArchNames()
+{
+    auto names = tableOneMicroArchNames();
+    names.push_back("Zen");
+    return names;
+}
+
+} // namespace nb::uarch

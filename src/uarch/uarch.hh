@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Microarchitecture descriptors for the CPUs the paper studies
+ * (Table I: ten Intel Core generations) plus AMD Zen.
+ *
+ * A MicroArch combines the execution-port family, the PMU shape (number
+ * of programmable counters, availability of fixed counters and uncore
+ * counters), the cache hierarchy (geometry + replacement policies as
+ * reported in Table I), and a few modelling parameters (reference-clock
+ * ratio, interrupt period for user-mode noise).
+ */
+
+#ifndef NB_UARCH_UARCH_HH
+#define NB_UARCH_UARCH_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "uarch/timing.hh"
+
+namespace nb::uarch
+{
+
+/** CPU vendor; determines PMU details (§II). */
+enum class Vendor : std::uint8_t
+{
+    Intel,
+    Amd,
+};
+
+/** Descriptor of one modelled CPU. */
+struct MicroArch
+{
+    std::string name;    ///< e.g. "Skylake"
+    std::string cpu;     ///< e.g. "Core i7-6500U"
+    Vendor vendor = Vendor::Intel;
+    PortFamily family = PortFamily::Skylake;
+
+    /** Number of programmable performance counters (§II-A2). */
+    unsigned numProgCounters = 4;
+    /** Intel fixed-function counters readable with RDPMC (§II-A1). */
+    bool hasFixedCounters = true;
+    /** APERF/MPERF available (Intel + AMD 17h; RDMSR only). */
+    bool hasAperfMperf = true;
+    /** Uncore/C-Box counters (Intel L3; kernel-space only, §II-B). */
+    bool hasUncoreCounters = true;
+
+    /** Issue (rename) width in µops per cycle. */
+    unsigned issueWidth = 4;
+    /** Retire width in µops per cycle. */
+    unsigned retireWidth = 4;
+    /** Scheduler window size (µops in flight). */
+    unsigned windowSize = 96;
+
+    /** Ratio of reference-clock to core-clock frequency. */
+    double refClockRatio = 0.88;
+
+    /** Mean period of timer interrupts in cycles (user mode only). */
+    std::uint64_t interruptPeriodCycles = 2'000'000;
+
+    cache::HierarchyConfig cacheConfig;
+
+    PortLayout ports() const { return portLayout(family); }
+};
+
+/** Look up a microarchitecture by name ("Skylake", "IvyBridge", ...).
+ *  @throws nb::FatalError for unknown names. */
+const MicroArch &getMicroArch(const std::string &name);
+
+/** All modelled microarchitecture names, in Table I order (+ Zen). */
+std::vector<std::string> allMicroArchNames();
+
+/** The ten Intel CPUs of Table I, in table order. */
+std::vector<std::string> tableOneMicroArchNames();
+
+} // namespace nb::uarch
+
+#endif // NB_UARCH_UARCH_HH

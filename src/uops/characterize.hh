@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Case study I (paper §V): automatic characterization of instruction
+ * latency, throughput, and port usage, in the style of uops.info.
+ *
+ * For each instruction variant the tool generates microbenchmarks:
+ *
+ *  - latency: a dependency chain through the destination/source
+ *    operands (pointer chasing for loads, flag chains for SETcc, the
+ *    implicit RAX/RDX chain for MUL/DIV);
+ *  - throughput: many independent instances using rotated destination
+ *    registers (with dependency-breaking idioms where needed);
+ *  - port usage: the throughput benchmark evaluated with the
+ *    UOPS_DISPATCHED_PORT.* events.
+ *
+ * The benchmarks are evaluated with nanoBench; the kernel-space runner
+ * allows characterizing privileged instructions (RDMSR, WBINVD, CLI,
+ * ...), which no previous tool could do (§V).
+ */
+
+#ifndef NB_UOPS_CHARACTERIZE_HH
+#define NB_UOPS_CHARACTERIZE_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace nb::uops
+{
+
+/** Measured characteristics of one instruction variant. */
+struct VariantResult
+{
+    std::string signature;   ///< e.g. "ADD_R64_R64"
+    std::string asmText;     ///< example instance
+    /** Chain latency in cycles; nullopt if no chain can be built. */
+    std::optional<double> latency;
+    /** Reciprocal throughput in cycles per instruction. */
+    double throughput = 0.0;
+    /** Executed µops per instruction. */
+    double uops = 0.0;
+    /** Port -> µops per instruction (measured). */
+    std::map<unsigned, double> portUsage;
+    /** Set if the variant needs kernel mode but the runner is user. */
+    bool requiresKernelMode = false;
+
+    /** Compact port string, e.g. "p2:0.50 p3:0.50". */
+    std::string portString() const;
+    /** One table row. */
+    std::string tableRow() const;
+};
+
+/** The characterization tool bound to one runner. */
+class Characterizer
+{
+  public:
+    explicit Characterizer(core::Runner &runner);
+
+    /** Characterize a single variant. */
+    VariantResult characterize(const x86::Instruction &insn);
+
+    /** All instruction variants of the modelled ISA, specialized for
+     *  the runner's microarchitecture (unsupported opcodes omitted). */
+    std::vector<x86::Instruction> variantCatalog() const;
+
+    /** Characterize the whole catalog. */
+    std::vector<VariantResult> characterizeAll();
+
+    /** Table header matching VariantResult::tableRow(). */
+    static std::string tableHeader();
+
+  private:
+    struct ChainSpec
+    {
+        std::vector<x86::Instruction> body;
+        std::vector<x86::Instruction> init;
+        /** Chain links per body execution. */
+        unsigned linksPerIteration = 1;
+        /** Cycles contributed by auxiliary chain instructions. */
+        double overheadCycles = 0.0;
+    };
+
+    /** Build a latency chain; nullopt if the variant has no register
+     *  result to chain through. */
+    std::optional<ChainSpec> buildLatencyChain(
+        const x86::Instruction &insn) const;
+
+    /** Build the independent-instances throughput benchmark. */
+    ChainSpec buildThroughputBench(const x86::Instruction &insn,
+                                   unsigned copies) const;
+
+    core::Runner &runner_;
+};
+
+} // namespace nb::uops
+
+#endif // NB_UOPS_CHARACTERIZE_HH

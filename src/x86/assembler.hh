@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Intel-syntax assembler for the modelled subset.
+ *
+ * nanoBench accepts microbenchmark code "as an assembler code sequence in
+ * Intel syntax" (paper §III-E), e.g. "mov R14, [R14]". This assembler
+ * parses such sequences into the instruction IR. Instructions are
+ * separated by ';' or newlines; labels ("name:") and label-target branches
+ * ("jnz name") are supported for hand-written loops; '#' starts a comment.
+ */
+
+#ifndef NB_X86_ASSEMBLER_HH
+#define NB_X86_ASSEMBLER_HH
+
+#include <string_view>
+#include <vector>
+
+#include "x86/instruction.hh"
+
+namespace nb::x86
+{
+
+/**
+ * Assemble an Intel-syntax code sequence.
+ *
+ * @param source Assembly text; ';' or newline separated.
+ * @return The assembled instructions with branch labels resolved.
+ * @throws nb::FatalError on any syntax error (user error).
+ */
+std::vector<Instruction> assemble(std::string_view source);
+
+} // namespace nb::x86
+
+#endif // NB_X86_ASSEMBLER_HH

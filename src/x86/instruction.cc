@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Opcode metadata table and instruction helpers.
+ */
+
+#include "instruction.hh"
+
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace nb::x86
+{
+
+namespace
+{
+
+using IC = InstrClass;
+using R = Reg;
+
+struct InfoInit
+{
+    Opcode op;
+    OpcodeInfo info;
+};
+
+// Field order: mnemonic, class, readsFlags, writesFlags, privileged,
+// serializing, dispatchFence, implicitReads, implicitWrites.
+const std::vector<InfoInit> &
+infoInits()
+{
+    static const std::vector<InfoInit> inits = {
+        {Opcode::MOV, {"MOV", IC::Move, false, false, false, false, false,
+                       {}, {}}},
+        {Opcode::MOVZX, {"MOVZX", IC::Move, false, false, false, false,
+                         false, {}, {}}},
+        {Opcode::MOVSX, {"MOVSX", IC::Move, false, false, false, false,
+                         false, {}, {}}},
+        {Opcode::LEA, {"LEA", IC::Lea, false, false, false, false, false,
+                       {}, {}}},
+        {Opcode::XCHG, {"XCHG", IC::Move, false, false, false, false, false,
+                        {}, {}}},
+        {Opcode::PUSH, {"PUSH", IC::PushPop, false, false, false, false,
+                        false, {R::RSP}, {R::RSP}}},
+        {Opcode::POP, {"POP", IC::PushPop, false, false, false, false,
+                       false, {R::RSP}, {R::RSP}}},
+        {Opcode::BSWAP, {"BSWAP", IC::Alu, false, false, false, false,
+                         false, {}, {}}},
+        {Opcode::MOVNTI, {"MOVNTI", IC::Move, false, false, false, false,
+                          false, {}, {}}},
+        {Opcode::CMOVZ, {"CMOVZ", IC::CMov, true, false, false, false,
+                         false, {}, {}}},
+        {Opcode::CMOVNZ, {"CMOVNZ", IC::CMov, true, false, false, false,
+                          false, {}, {}}},
+        {Opcode::CMOVC, {"CMOVC", IC::CMov, true, false, false, false,
+                         false, {}, {}}},
+        {Opcode::CMOVNC, {"CMOVNC", IC::CMov, true, false, false, false,
+                          false, {}, {}}},
+        {Opcode::ADD, {"ADD", IC::Alu, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::ADC, {"ADC", IC::Alu, true, true, false, false, false,
+                       {}, {}}},
+        {Opcode::SUB, {"SUB", IC::Alu, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::SBB, {"SBB", IC::Alu, true, true, false, false, false,
+                       {}, {}}},
+        {Opcode::AND, {"AND", IC::Alu, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::OR, {"OR", IC::Alu, false, true, false, false, false,
+                      {}, {}}},
+        {Opcode::XOR, {"XOR", IC::Alu, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::CMP, {"CMP", IC::Alu, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::TEST, {"TEST", IC::Alu, false, true, false, false, false,
+                        {}, {}}},
+        {Opcode::INC, {"INC", IC::Alu, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::DEC, {"DEC", IC::Alu, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::NEG, {"NEG", IC::Alu, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::NOT, {"NOT", IC::Alu, false, false, false, false, false,
+                       {}, {}}},
+        {Opcode::IMUL, {"IMUL", IC::Mul, false, true, false, false, false,
+                        {}, {}}},
+        {Opcode::MUL, {"MUL", IC::Mul, false, true, false, false, false,
+                       {R::RAX}, {R::RAX, R::RDX}}},
+        {Opcode::DIV, {"DIV", IC::Div, false, true, false, false, false,
+                       {R::RAX, R::RDX}, {R::RAX, R::RDX}}},
+        {Opcode::IDIV, {"IDIV", IC::Div, false, true, false, false, false,
+                        {R::RAX, R::RDX}, {R::RAX, R::RDX}}},
+        {Opcode::SHL, {"SHL", IC::Shift, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::SHR, {"SHR", IC::Shift, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::SAR, {"SAR", IC::Shift, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::ROL, {"ROL", IC::Shift, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::ROR, {"ROR", IC::Shift, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::POPCNT, {"POPCNT", IC::BitScan, false, true, false, false,
+                          false, {}, {}}},
+        {Opcode::LZCNT, {"LZCNT", IC::BitScan, false, true, false, false,
+                         false, {}, {}}},
+        {Opcode::TZCNT, {"TZCNT", IC::BitScan, false, true, false, false,
+                         false, {}, {}}},
+        {Opcode::BSF, {"BSF", IC::BitScan, false, true, false, false,
+                       false, {}, {}}},
+        {Opcode::BSR, {"BSR", IC::BitScan, false, true, false, false,
+                       false, {}, {}}},
+        {Opcode::BT, {"BT", IC::Alu, false, true, false, false, false,
+                      {}, {}}},
+        {Opcode::BTS, {"BTS", IC::Alu, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::BTR, {"BTR", IC::Alu, false, true, false, false, false,
+                       {}, {}}},
+        {Opcode::SETZ, {"SETZ", IC::SetCC, true, false, false, false,
+                        false, {}, {}}},
+        {Opcode::SETNZ, {"SETNZ", IC::SetCC, true, false, false, false,
+                         false, {}, {}}},
+        {Opcode::JMP, {"JMP", IC::Branch, false, false, false, false,
+                       false, {}, {}}},
+        {Opcode::JZ, {"JZ", IC::Branch, true, false, false, false, false,
+                      {}, {}}},
+        {Opcode::JNZ, {"JNZ", IC::Branch, true, false, false, false, false,
+                       {}, {}}},
+        {Opcode::JC, {"JC", IC::Branch, true, false, false, false, false,
+                      {}, {}}},
+        {Opcode::JNC, {"JNC", IC::Branch, true, false, false, false, false,
+                       {}, {}}},
+        {Opcode::JL, {"JL", IC::Branch, true, false, false, false, false,
+                      {}, {}}},
+        {Opcode::JGE, {"JGE", IC::Branch, true, false, false, false, false,
+                       {}, {}}},
+        {Opcode::JLE, {"JLE", IC::Branch, true, false, false, false, false,
+                       {}, {}}},
+        {Opcode::JG, {"JG", IC::Branch, true, false, false, false, false,
+                      {}, {}}},
+        {Opcode::CALL, {"CALL", IC::CallRet, false, false, false, false,
+                        false, {R::RSP}, {R::RSP}}},
+        {Opcode::RET, {"RET", IC::CallRet, false, false, false, false,
+                       false, {R::RSP}, {R::RSP}}},
+        {Opcode::MOVAPS, {"MOVAPS", IC::VecMove, false, false, false,
+                          false, false, {}, {}}},
+        {Opcode::MOVUPS, {"MOVUPS", IC::VecMove, false, false, false,
+                          false, false, {}, {}}},
+        {Opcode::PXOR, {"PXOR", IC::VecAlu, false, false, false, false,
+                        false, {}, {}}},
+        {Opcode::PADDD, {"PADDD", IC::VecAlu, false, false, false, false,
+                         false, {}, {}}},
+        {Opcode::ADDPS, {"ADDPS", IC::VecAlu, false, false, false, false,
+                         false, {}, {}}},
+        {Opcode::ADDPD, {"ADDPD", IC::VecAlu, false, false, false, false,
+                         false, {}, {}}},
+        {Opcode::MULPS, {"MULPS", IC::VecMul, false, false, false, false,
+                         false, {}, {}}},
+        {Opcode::MULPD, {"MULPD", IC::VecMul, false, false, false, false,
+                         false, {}, {}}},
+        {Opcode::DIVPS, {"DIVPS", IC::VecDiv, false, false, false, false,
+                         false, {}, {}}},
+        {Opcode::DIVPD, {"DIVPD", IC::VecDiv, false, false, false, false,
+                         false, {}, {}}},
+        {Opcode::VADDPS, {"VADDPS", IC::VecAlu, false, false, false, false,
+                          false, {}, {}}},
+        {Opcode::VMULPS, {"VMULPS", IC::VecMul, false, false, false, false,
+                          false, {}, {}}},
+        {Opcode::VFMADD231PS, {"VFMADD231PS", IC::Fma, false, false, false,
+                               false, false, {}, {}}},
+        {Opcode::LFENCE, {"LFENCE", IC::Fence, false, false, false, false,
+                          true, {}, {}}},
+        {Opcode::MFENCE, {"MFENCE", IC::Fence, false, false, false, false,
+                          true, {}, {}}},
+        {Opcode::SFENCE, {"SFENCE", IC::Fence, false, false, false, false,
+                          false, {}, {}}},
+        {Opcode::CPUID, {"CPUID", IC::Serialize, false, false, false, true,
+                         true, {R::RAX, R::RCX},
+                         {R::RAX, R::RBX, R::RCX, R::RDX}}},
+        {Opcode::PAUSE, {"PAUSE", IC::Nop, false, false, false, false,
+                         false, {}, {}}},
+        {Opcode::RDTSC, {"RDTSC", IC::CounterRead, false, false, false,
+                         false, false, {}, {R::RAX, R::RDX}}},
+        {Opcode::RDPMC, {"RDPMC", IC::CounterRead, false, false, false,
+                         false, false, {R::RCX}, {R::RAX, R::RDX}}},
+        {Opcode::RDMSR, {"RDMSR", IC::CounterRead, false, false, true,
+                         false, false, {R::RCX}, {R::RAX, R::RDX}}},
+        {Opcode::WRMSR, {"WRMSR", IC::System, false, false, true, true,
+                         true, {R::RCX, R::RAX, R::RDX}, {}}},
+        {Opcode::WBINVD, {"WBINVD", IC::System, false, false, true, true,
+                          true, {}, {}}},
+        {Opcode::CLFLUSH, {"CLFLUSH", IC::System, false, false, false,
+                           false, false, {}, {}}},
+        {Opcode::PREFETCHT0, {"PREFETCHT0", IC::System, false, false,
+                              false, false, false, {}, {}}},
+        {Opcode::PREFETCHNTA, {"PREFETCHNTA", IC::System, false, false,
+                               false, false, false, {}, {}}},
+        {Opcode::CLI, {"CLI", IC::System, false, false, true, false, false,
+                       {}, {}}},
+        {Opcode::STI, {"STI", IC::System, false, false, true, false, false,
+                       {}, {}}},
+        {Opcode::NOP, {"NOP", IC::Nop, false, false, false, false, false,
+                       {}, {}}},
+        {Opcode::PFC_PAUSE, {"PFC_PAUSE", IC::Magic, false, false, false,
+                             false, true, {}, {}}},
+        {Opcode::PFC_RESUME, {"PFC_RESUME", IC::Magic, false, false, false,
+                              false, true, {}, {}}},
+    };
+    return inits;
+}
+
+const std::vector<OpcodeInfo> &
+infoTable()
+{
+    static const std::vector<OpcodeInfo> table = [] {
+        std::vector<OpcodeInfo> t(
+            static_cast<std::size_t>(Opcode::NumOpcodes));
+        std::vector<bool> seen(t.size(), false);
+        for (const auto &init : infoInits()) {
+            auto idx = static_cast<std::size_t>(init.op);
+            t[idx] = init.info;
+            seen[idx] = true;
+        }
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (!seen[i])
+                panic("opcode ", i, " missing from the metadata table");
+        }
+        return t;
+    }();
+    return table;
+}
+
+const std::map<std::string, Opcode> &
+mnemonicMap()
+{
+    static const std::map<std::string, Opcode> m = [] {
+        std::map<std::string, Opcode> map;
+        for (const auto &init : infoInits())
+            map[init.info.mnemonic] = init.op;
+        return map;
+    }();
+    return m;
+}
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    NB_ASSERT(idx < infoTable().size(), "opcode out of range");
+    return infoTable()[idx];
+}
+
+Opcode
+parseMnemonic(std::string_view mnemonic, bool *ok)
+{
+    auto it = mnemonicMap().find(toUpper(mnemonic));
+    if (it == mnemonicMap().end()) {
+        if (ok)
+            *ok = false;
+        return Opcode::NOP;
+    }
+    if (ok)
+        *ok = true;
+    return it->second;
+}
+
+bool
+Instruction::isBranch() const
+{
+    InstrClass c = info().cls;
+    return c == InstrClass::Branch || c == InstrClass::CallRet;
+}
+
+bool
+Instruction::isCondBranch() const
+{
+    return info().cls == InstrClass::Branch && opcode != Opcode::JMP;
+}
+
+bool
+Instruction::isLoad() const
+{
+    switch (opcode) {
+      case Opcode::POP:
+      case Opcode::RET:
+        return true;
+      case Opcode::PREFETCHT0:
+      case Opcode::PREFETCHNTA:
+        return true;
+      case Opcode::CLFLUSH:
+      case Opcode::NOP:
+      case Opcode::LEA:
+        return false;
+      default:
+        break;
+    }
+    // A memory operand that is not the destination of a pure store is a
+    // load; read-modify-write forms (e.g. ADD [mem], reg) both load and
+    // store.
+    const Operand *m = memOperand();
+    if (!m)
+        return false;
+    bool mem_is_dest = !operands.empty() &&
+                       &operands.front() == m;
+    if (!mem_is_dest)
+        return true;
+    // Destination memory operand: MOV/MOVNTI/MOVAPS stores only; ALU
+    // read-modify-write also loads.
+    switch (opcode) {
+      case Opcode::MOV:
+      case Opcode::MOVNTI:
+      case Opcode::MOVAPS:
+      case Opcode::MOVUPS:
+      case Opcode::SETZ:
+      case Opcode::SETNZ:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+Instruction::isStore() const
+{
+    switch (opcode) {
+      case Opcode::PUSH:
+      case Opcode::CALL:
+        return true;
+      case Opcode::NOP:
+      case Opcode::LEA:
+      case Opcode::CLFLUSH:
+      case Opcode::PREFETCHT0:
+      case Opcode::PREFETCHNTA:
+        return false;
+      case Opcode::CMP:
+      case Opcode::TEST:
+      case Opcode::BT:
+        return false; // read-only even with a memory destination operand
+      default:
+        break;
+    }
+    const Operand *m = memOperand();
+    if (!m)
+        return false;
+    // Stores happen when the memory operand is the destination.
+    return !operands.empty() && &operands.front() == m;
+}
+
+const Operand *
+Instruction::memOperand() const
+{
+    for (const auto &op : operands) {
+        if (op.kind == OperandKind::Memory)
+            return &op;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+std::string
+operandTag(const Operand &op)
+{
+    switch (op.kind) {
+      case OperandKind::Register:
+        if (isVec(op.reg))
+            return op.widthBits == 256 ? "Y" : "X";
+        return "R" + std::to_string(op.widthBits);
+      case OperandKind::Immediate:
+        return "I";
+      case OperandKind::Memory:
+        return "M" + std::to_string(op.widthBits);
+      case OperandKind::None:
+        return "N";
+    }
+    panic("unreachable operand kind");
+}
+
+} // namespace
+
+std::string
+Instruction::formSignature() const
+{
+    std::string sig = info().mnemonic;
+    for (const auto &op : operands) {
+        sig += "_";
+        sig += operandTag(op);
+    }
+    return sig;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << toLower(info().mnemonic);
+    for (std::size_t i = 0; i < operands.size(); ++i)
+        os << (i == 0 ? " " : ", ") << operands[i].toString();
+    if (isBranch() && operands.empty()) {
+        if (!label.empty())
+            os << " " << label;
+        else if (targetIdx >= 0)
+            os << " @" << targetIdx;
+    }
+    return os.str();
+}
+
+std::string
+toString(const std::vector<Instruction> &code)
+{
+    std::string out;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (i > 0)
+            out += "; ";
+        out += code[i].toString();
+    }
+    return out;
+}
+
+} // namespace nb::x86

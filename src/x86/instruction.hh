@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Instruction IR for the simulated x86-64 subset.
+ *
+ * The subset covers everything the paper's microbenchmarks need: integer
+ * ALU, multiply/divide, loads/stores with full addressing modes, flags and
+ * conditional branches (for the generated measurement loop), SSE/AVX
+ * arithmetic, fences and serializing instructions, and the privileged
+ * instructions that motivate nanoBench's kernel-space version (RDMSR,
+ * WRMSR, WBINVD, CLI/STI, ...).
+ */
+
+#ifndef NB_X86_INSTRUCTION_HH
+#define NB_X86_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "x86/operand.hh"
+
+namespace nb::x86
+{
+
+/** Opcodes of the modelled subset. */
+enum class Opcode : std::uint16_t
+{
+    // Data movement
+    MOV, MOVZX, MOVSX, LEA, XCHG, PUSH, POP, BSWAP, MOVNTI,
+    CMOVZ, CMOVNZ, CMOVC, CMOVNC,
+    // Integer ALU
+    ADD, ADC, SUB, SBB, AND, OR, XOR, CMP, TEST,
+    INC, DEC, NEG, NOT,
+    IMUL, MUL, DIV, IDIV,
+    SHL, SHR, SAR, ROL, ROR,
+    POPCNT, LZCNT, TZCNT, BSF, BSR,
+    BT, BTS, BTR,
+    SETZ, SETNZ,
+    // Control flow
+    JMP, JZ, JNZ, JC, JNC, JL, JGE, JLE, JG, CALL, RET,
+    // SSE / AVX
+    MOVAPS, MOVUPS, PXOR, PADDD,
+    ADDPS, ADDPD, MULPS, MULPD, DIVPS, DIVPD,
+    VADDPS, VMULPS, VFMADD231PS,
+    // Fences and serialization
+    LFENCE, MFENCE, SFENCE, CPUID, PAUSE,
+    // Counters and system (privilege-sensitive)
+    RDTSC, RDPMC, RDMSR, WRMSR, WBINVD, CLFLUSH,
+    PREFETCHT0, PREFETCHNTA, CLI, STI,
+    NOP,
+    // nanoBench magic markers (paper §III-I): pause/resume counting.
+    PFC_PAUSE, PFC_RESUME,
+    NumOpcodes,
+};
+
+/** Coarse instruction class used for default timing assignment. */
+enum class InstrClass : std::uint8_t
+{
+    Move, Alu, Lea, Mul, Div, Shift, BitScan, SetCC, CMov,
+    Branch, CallRet, PushPop,
+    VecMove, VecAlu, VecMul, VecDiv, Fma,
+    Fence, Serialize, CounterRead, System, Nop, Magic,
+};
+
+/** Static properties of an opcode. */
+struct OpcodeInfo
+{
+    const char *mnemonic;
+    InstrClass cls;
+    bool readsFlags;
+    bool writesFlags;
+    bool privileged;
+    /** Fully serializing (CPUID-style). */
+    bool serializing;
+    /** Dispatch-serializing like LFENCE (waits for older, blocks newer). */
+    bool dispatchFence;
+    std::vector<Reg> implicitReads;
+    std::vector<Reg> implicitWrites;
+};
+
+/** Look up the static properties of an opcode. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Parse a mnemonic (case-insensitive); Invalid count if unknown. */
+Opcode parseMnemonic(std::string_view mnemonic, bool *ok);
+
+/** A decoded/assembled instruction. */
+struct Instruction
+{
+    Opcode opcode = Opcode::NOP;
+    std::vector<Operand> operands;
+
+    /** Branch target: index into the instruction sequence; -1 if none or
+     *  unresolved. The assembler resolves labels to indices. */
+    std::int32_t targetIdx = -1;
+    /** Unresolved label name (assembler-internal). */
+    std::string label;
+
+    bool operator==(const Instruction &other) const
+    {
+        return opcode == other.opcode && operands == other.operands &&
+               targetIdx == other.targetIdx;
+    }
+
+    const OpcodeInfo &info() const { return opcodeInfo(opcode); }
+
+    bool isBranch() const;
+    bool isCondBranch() const;
+    /** True if any operand (or implicit behaviour) loads from memory. */
+    bool isLoad() const;
+    /** True if any operand (or implicit behaviour) stores to memory. */
+    bool isStore() const;
+
+    /** Memory operand, if any (at most one in this subset). */
+    const Operand *memOperand() const;
+
+    /**
+     * Instruction-form signature, e.g. "ADD_R64_R64" or "MOV_R64_M64";
+     * used to key per-microarchitecture timing tables.
+     */
+    std::string formSignature() const;
+
+    /** Intel-syntax rendering. */
+    std::string toString() const;
+};
+
+/** Render a whole instruction sequence, "; "-separated. */
+std::string toString(const std::vector<Instruction> &code);
+
+} // namespace nb::x86
+
+#endif // NB_X86_INSTRUCTION_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Operand construction and rendering.
+ */
+
+#include "operand.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace nb::x86
+{
+
+Operand
+Operand::makeReg(Reg r, unsigned width_bits)
+{
+    Operand op;
+    op.kind = OperandKind::Register;
+    op.reg = r;
+    op.widthBits = width_bits;
+    return op;
+}
+
+Operand
+Operand::makeImm(std::int64_t value, unsigned width_bits)
+{
+    Operand op;
+    op.kind = OperandKind::Immediate;
+    op.imm = value;
+    op.widthBits = width_bits;
+    return op;
+}
+
+Operand
+Operand::makeMem(const MemRef &m, unsigned width_bits)
+{
+    Operand op;
+    op.kind = OperandKind::Memory;
+    op.mem = m;
+    op.widthBits = width_bits;
+    return op;
+}
+
+namespace
+{
+
+const char *
+widthPtrName(unsigned width_bits)
+{
+    switch (width_bits) {
+      case 8:
+        return "byte ptr ";
+      case 16:
+        return "word ptr ";
+      case 32:
+        return "dword ptr ";
+      case 64:
+        return "qword ptr ";
+      case 128:
+        return "xmmword ptr ";
+      case 256:
+        return "ymmword ptr ";
+      default:
+        return "";
+    }
+}
+
+} // namespace
+
+std::string
+Operand::toString() const
+{
+    switch (kind) {
+      case OperandKind::None:
+        return "<none>";
+      case OperandKind::Register:
+        return regName(reg, widthBits);
+      case OperandKind::Immediate:
+        return std::to_string(imm);
+      case OperandKind::Memory: {
+        std::ostringstream os;
+        os << widthPtrName(widthBits) << "[";
+        bool need_plus = false;
+        if (mem.base != Reg::Invalid) {
+            os << regName(mem.base);
+            need_plus = true;
+        }
+        if (mem.index != Reg::Invalid) {
+            if (need_plus)
+                os << "+";
+            os << regName(mem.index);
+            if (mem.scale != 1)
+                os << "*" << static_cast<int>(mem.scale);
+            need_plus = true;
+        }
+        if (mem.disp != 0 || !need_plus) {
+            if (need_plus && mem.disp >= 0)
+                os << "+";
+            os << mem.disp;
+        }
+        os << "]";
+        return os.str();
+      }
+    }
+    panic("unreachable operand kind");
+}
+
+} // namespace nb::x86

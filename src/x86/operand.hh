@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Instruction operands: registers, immediates, and memory references with
+ * the full Intel base+index*scale+displacement addressing form.
+ */
+
+#ifndef NB_X86_OPERAND_HH
+#define NB_X86_OPERAND_HH
+
+#include <cstdint>
+#include <string>
+
+#include "x86/reg.hh"
+
+namespace nb::x86
+{
+
+/** Operand kinds; also used to build instruction-form signatures. */
+enum class OperandKind : std::uint8_t
+{
+    None,
+    Register,
+    Immediate,
+    Memory,
+};
+
+/** Memory reference: [base + index*scale + disp]. */
+struct MemRef
+{
+    Reg base = Reg::Invalid;   ///< Reg::Invalid if absent.
+    Reg index = Reg::Invalid;  ///< Reg::Invalid if absent.
+    std::uint8_t scale = 1;    ///< 1, 2, 4, or 8.
+    std::int64_t disp = 0;
+
+    bool operator==(const MemRef &) const = default;
+};
+
+/** A single instruction operand. */
+struct Operand
+{
+    OperandKind kind = OperandKind::None;
+    /** Operand width in bits (8/16/32/64 for GPR forms, 128/256 vector). */
+    unsigned widthBits = 64;
+    Reg reg = Reg::Invalid;    ///< Valid iff kind == Register.
+    std::int64_t imm = 0;      ///< Valid iff kind == Immediate.
+    MemRef mem;                ///< Valid iff kind == Memory.
+
+    bool operator==(const Operand &) const = default;
+
+    static Operand makeReg(Reg r, unsigned width_bits = 64);
+    static Operand makeImm(std::int64_t value, unsigned width_bits = 64);
+    static Operand makeMem(const MemRef &m, unsigned width_bits = 64);
+
+    /** Intel-syntax rendering ("RAX", "42", "qword ptr [R14+RSI*4+8]"). */
+    std::string toString() const;
+};
+
+} // namespace nb::x86
+
+#endif // NB_X86_OPERAND_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Register-name tables and parsing.
+ */
+
+#include "reg.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace nb::x86
+{
+
+namespace
+{
+
+constexpr std::array<const char *, 16> kGpr64Names = {
+    "RAX", "RCX", "RDX", "RBX", "RSP", "RBP", "RSI", "RDI",
+    "R8", "R9", "R10", "R11", "R12", "R13", "R14", "R15",
+};
+
+constexpr std::array<const char *, 16> kGpr32Names = {
+    "EAX", "ECX", "EDX", "EBX", "ESP", "EBP", "ESI", "EDI",
+    "R8D", "R9D", "R10D", "R11D", "R12D", "R13D", "R14D", "R15D",
+};
+
+constexpr std::array<const char *, 16> kGpr16Names = {
+    "AX", "CX", "DX", "BX", "SP", "BP", "SI", "DI",
+    "R8W", "R9W", "R10W", "R11W", "R12W", "R13W", "R14W", "R15W",
+};
+
+constexpr std::array<const char *, 16> kGpr8Names = {
+    "AL", "CL", "DL", "BL", "SPL", "BPL", "SIL", "DIL",
+    "R8B", "R9B", "R10B", "R11B", "R12B", "R13B", "R14B", "R15B",
+};
+
+} // namespace
+
+std::string
+regName(Reg r)
+{
+    if (isGpr(r))
+        return kGpr64Names[static_cast<unsigned>(r)];
+    if (isVec(r))
+        return "XMM" + std::to_string(static_cast<unsigned>(r) - kNumGprs);
+    if (r == Reg::RFLAGS)
+        return "RFLAGS";
+    if (r == Reg::RIP)
+        return "RIP";
+    return "<invalid>";
+}
+
+std::string
+regName(Reg r, unsigned width_bits)
+{
+    if (isGpr(r)) {
+        unsigned idx = static_cast<unsigned>(r);
+        switch (width_bits) {
+          case 64:
+            return kGpr64Names[idx];
+          case 32:
+            return kGpr32Names[idx];
+          case 16:
+            return kGpr16Names[idx];
+          case 8:
+            return kGpr8Names[idx];
+          default:
+            panic("bad GPR width ", width_bits);
+        }
+    }
+    if (isVec(r)) {
+        unsigned idx = static_cast<unsigned>(r) - kNumGprs;
+        if (width_bits == 256)
+            return "YMM" + std::to_string(idx);
+        return "XMM" + std::to_string(idx);
+    }
+    return regName(r);
+}
+
+std::optional<ParsedReg>
+parseReg(std::string_view name)
+{
+    std::string up = toUpper(trim(name));
+    for (unsigned i = 0; i < 16; ++i) {
+        if (up == kGpr64Names[i])
+            return ParsedReg{static_cast<Reg>(i), 64};
+        if (up == kGpr32Names[i])
+            return ParsedReg{static_cast<Reg>(i), 32};
+        if (up == kGpr16Names[i])
+            return ParsedReg{static_cast<Reg>(i), 16};
+        if (up == kGpr8Names[i])
+            return ParsedReg{static_cast<Reg>(i), 8};
+    }
+    auto parse_vec = [&](std::string_view prefix,
+                         unsigned width) -> std::optional<ParsedReg> {
+        if (!startsWith(up, prefix))
+            return std::nullopt;
+        auto idx = parseInt(up.substr(prefix.size()));
+        if (!idx || *idx < 0 || *idx >= 16)
+            return std::nullopt;
+        return ParsedReg{
+            static_cast<Reg>(kNumGprs + static_cast<unsigned>(*idx)), width};
+    };
+    if (auto r = parse_vec("XMM", 128))
+        return r;
+    if (auto r = parse_vec("YMM", 256))
+        return r;
+    if (up == "RFLAGS")
+        return ParsedReg{Reg::RFLAGS, 64};
+    if (up == "RIP")
+        return ParsedReg{Reg::RIP, 64};
+    return std::nullopt;
+}
+
+} // namespace nb::x86

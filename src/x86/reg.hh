@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Architectural register identifiers for the simulated x86-64 machine.
+ *
+ * The model exposes the 16 general-purpose registers, 16 vector registers,
+ * the flags register, and the instruction pointer. Sub-registers (EAX, AX,
+ * AL, ...) parse to the same architectural identifier with an operand
+ * width attached; dependence tracking is done at the architectural
+ * register granularity, which matches how the paper's microbenchmarks use
+ * registers.
+ */
+
+#ifndef NB_X86_REG_HH
+#define NB_X86_REG_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nb::x86
+{
+
+/** Architectural registers. GPRs first, then vector registers. */
+enum class Reg : std::uint8_t
+{
+    RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    XMM0, XMM1, XMM2, XMM3, XMM4, XMM5, XMM6, XMM7,
+    XMM8, XMM9, XMM10, XMM11, XMM12, XMM13, XMM14, XMM15,
+    RFLAGS,
+    RIP,
+    NumRegs,
+    Invalid,
+};
+
+/** Number of general-purpose registers. */
+inline constexpr unsigned kNumGprs = 16;
+
+/** Number of vector registers. */
+inline constexpr unsigned kNumVecRegs = 16;
+
+/** True for RAX..R15. */
+constexpr bool
+isGpr(Reg r)
+{
+    return static_cast<unsigned>(r) < kNumGprs;
+}
+
+/** True for XMM0..XMM15 (also used for YMM forms). */
+constexpr bool
+isVec(Reg r)
+{
+    unsigned v = static_cast<unsigned>(r);
+    return v >= kNumGprs && v < kNumGprs + kNumVecRegs;
+}
+
+/** Canonical (64-bit / XMM) name of a register. */
+std::string regName(Reg r);
+
+/** Name at a particular operand width (8/16/32/64 for GPRs; 128/256). */
+std::string regName(Reg r, unsigned width_bits);
+
+/**
+ * Parse a register name in any width form ("RAX", "eax", "ax", "al",
+ * "r14b", "xmm3", "ymm3"). Returns the architectural register and the
+ * operand width in bits.
+ */
+struct ParsedReg
+{
+    Reg reg;
+    unsigned widthBits;
+};
+
+std::optional<ParsedReg> parseReg(std::string_view name);
+
+} // namespace nb::x86
+
+#endif // NB_X86_REG_HH

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the common utilities (RNG, statistics, strings, bits).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/strings.hh"
+
+namespace nb
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(7);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.nextBelow(8)];
+    for (int c : counts)
+        EXPECT_GT(c, 800); // roughly uniform
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.nextRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, OneInApproximatesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 16000; ++i)
+        hits += rng.oneIn(16) ? 1 : 0;
+    EXPECT_NEAR(hits, 1000, 150);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Stats, Minimum)
+{
+    EXPECT_DOUBLE_EQ(minimum({3.0, 1.0, 2.0}), 1.0);
+}
+
+TEST(Stats, MedianOdd)
+{
+    EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Stats, MedianEven)
+{
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, TrimmedMeanDropsOutliers)
+{
+    // 10 values; 20% trim drops 2 from each end.
+    std::vector<double> v = {1000, -1000, 5, 5, 5, 5, 5, 5, 4, 6};
+    EXPECT_DOUBLE_EQ(trimmedMean(v), 5.0);
+}
+
+TEST(Stats, TrimmedMeanKeepsAtLeastOne)
+{
+    EXPECT_DOUBLE_EQ(trimmedMean({42.0}), 42.0);
+    EXPECT_DOUBLE_EQ(trimmedMean({1.0, 3.0}), 2.0);
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, ParseAggregateNames)
+{
+    EXPECT_EQ(parseAggregate("min"), Aggregate::Minimum);
+    EXPECT_EQ(parseAggregate("med"), Aggregate::Median);
+    EXPECT_EQ(parseAggregate("avg"), Aggregate::TrimmedMean);
+    EXPECT_EQ(parseAggregate("mean"), Aggregate::Mean);
+    EXPECT_THROW(parseAggregate("bogus"), FatalError);
+}
+
+TEST(Stats, RunningStatsMatchesBatch)
+{
+    RunningStats rs;
+    std::vector<double> v = {1.5, 2.5, 3.5, 10.0, -2.0};
+    for (double x : v)
+        rs.add(x);
+    EXPECT_EQ(rs.count(), v.size());
+    EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+    EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+    EXPECT_NEAR(rs.stddev(), stddev(v), 1e-12);
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Strings, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitWhitespace)
+{
+    auto parts = splitWhitespace("  mov   R14,  [R14]  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "mov");
+}
+
+TEST(Strings, CaseHelpers)
+{
+    EXPECT_EQ(toLower("MoV"), "mov");
+    EXPECT_EQ(toUpper("r14"), "R14");
+    EXPECT_TRUE(iequals("LFENCE", "lfence"));
+    EXPECT_FALSE(iequals("LFENCE", "lfenc"));
+}
+
+TEST(Strings, ParseInt)
+{
+    EXPECT_EQ(parseInt("42").value(), 42);
+    EXPECT_EQ(parseInt("-7").value(), -7);
+    EXPECT_EQ(parseInt("0x10").value(), 16);
+    EXPECT_FALSE(parseInt("4x2").has_value());
+    EXPECT_FALSE(parseInt("").has_value());
+}
+
+TEST(Strings, ParseHex)
+{
+    EXPECT_EQ(parseHex("A1").value(), 0xA1u);
+    EXPECT_EQ(parseHex("0x3C").value(), 0x3Cu);
+    EXPECT_FALSE(parseHex("zz").has_value());
+}
+
+TEST(Bits, PowersAndLogs)
+{
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(48));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+}
+
+TEST(Bits, BitExtraction)
+{
+    EXPECT_EQ(bits(0xABCD, 15, 8), 0xABu);
+    EXPECT_EQ(bit(0x8, 3), 1u);
+    EXPECT_EQ(bit(0x8, 2), 0u);
+    EXPECT_EQ(parity(0b1011), 1u);
+    EXPECT_EQ(parity(0b1001), 0u);
+}
+
+TEST(Bits, Alignment)
+{
+    EXPECT_EQ(alignDown(4097, 4096), 4096u);
+    EXPECT_EQ(alignUp(4097, 4096), 8192u);
+    EXPECT_EQ(alignUp(4096, 4096), 4096u);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrows)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+} // namespace
+} // namespace nb
