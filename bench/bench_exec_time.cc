@@ -13,7 +13,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 
 namespace
 {
@@ -25,33 +25,33 @@ struct Sample
 };
 
 Sample
-measure(nb::core::Mode mode)
+measure(nb::Engine &engine, nb::core::Mode mode)
 {
     using namespace nb::core;
-    NanoBenchOptions opt;
+    nb::SessionOptions opt;
     opt.uarch = "CoffeeLake"; // the i7-8700K of §III-K
     opt.mode = mode;
-    opt.spec.asmCode = "nop";
-    opt.spec.unrollCount = 100;
-    opt.spec.loopCount = 0;
-    opt.spec.nMeasurements = 10;
-    opt.spec.warmUpCount = 0;
-    opt.spec.config = CounterConfig::parseString(
+    nb::Session session = engine.session(opt);
+
+    BenchmarkSpec spec;
+    spec.asmCode = "nop";
+    spec.unrollCount = 100;
+    spec.loopCount = 0;
+    spec.nMeasurements = 10;
+    spec.warmUpCount = 0;
+    spec.config = CounterConfig::parseString(
         "0E.01 UOPS_ISSUED.ANY\n"
         "A1.01 UOPS_DISPATCHED_PORT.PORT_0\n"
         "A1.02 UOPS_DISPATCHED_PORT.PORT_1\n"
         "B1.01 UOPS_EXECUTED.THREAD\n");
-    NanoBench bench(opt);
 
     // Warm one run (module load, page mapping), then time.
-    bench.run(bench.options().spec);
+    session.runOrThrow(spec);
     constexpr int kReps = 20;
     auto t0 = std::chrono::steady_clock::now();
     nb::Cycles cycles = 0;
-    for (int i = 0; i < kReps; ++i) {
-        bench.run(bench.options().spec);
-        cycles += bench.runner().lastRunCycles();
-    }
+    for (int i = 0; i < kReps; ++i)
+        cycles += session.runOrThrow(spec).lastRunCycles;
     auto t1 = std::chrono::steady_clock::now();
     Sample s;
     s.hostMillis =
@@ -71,8 +71,9 @@ main()
                  "invocation\n";
     std::cout << "# NOP benchmark, unroll=100, loop=0, n=10, 4 events "
                  "(i7-8700K model)\n\n";
-    auto kernel = measure(nb::core::Mode::Kernel);
-    auto user = measure(nb::core::Mode::User);
+    nb::Engine engine;
+    auto kernel = measure(engine, nb::core::Mode::Kernel);
+    auto user = measure(engine, nb::core::Mode::User);
     std::cout << std::fixed << std::setprecision(2);
     std::cout << "version      host-ms/run   simulated-kcycles/run\n";
     std::cout << "kernel       " << std::setw(8) << kernel.hostMillis

@@ -17,7 +17,7 @@
 
 #include "cachetools/cacheseq.hh"
 #include "cachetools/infer.hh"
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 
 int
 main(int argc, char **argv)
@@ -32,17 +32,18 @@ main(int argc, char **argv)
     unsigned step = quick ? 16 : 8;
     unsigned reps = quick ? 8 : 16;
 
-    core::NanoBenchOptions opt;
+    Engine engine;
+    SessionOptions opt;
     opt.uarch = "IvyBridge";
     opt.mode = core::Mode::Kernel;
-    core::NanoBench bench(opt);
+    Session session = engine.session(opt);
 
     CacheSeqOptions co;
     co.level = CacheLevel::L3;
     co.set = 800; // probabilistic dedicated sets: 768-831 (§VI-D)
     co.cbox = 0;
     co.repetitions = reps;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     HardwareSetProbe probe(cs, 12);
 
     std::cout << "# E5: Figure 1 -- Ivy Bridge age graph, sequence "

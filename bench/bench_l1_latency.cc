@@ -12,28 +12,32 @@
 
 #include <iostream>
 
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 
 int
 main()
 {
+    using namespace nb;
     using namespace nb::core;
     nb::setQuiet(true);
 
-    NanoBenchOptions opt;
+    Engine engine;
+    SessionOptions opt;
     opt.uarch = "Skylake";
     opt.mode = Mode::Kernel;
-    opt.spec.asmCode = "mov R14, [R14]";
-    opt.spec.asmInit = "mov [R14], R14";
-    opt.spec.unrollCount = 100;
-    opt.spec.warmUpCount = 2;
-    opt.spec.config = CounterConfig::forMicroArch("Skylake");
+    opt.config = CounterConfig::forMicroArch("Skylake");
+    Session session = engine.session(opt);
 
-    NanoBench bench(opt);
+    BenchmarkSpec spec;
+    spec.asmCode = "mov R14, [R14]";
+    spec.asmInit = "mov [R14], R14";
+    spec.unrollCount = 100;
+    spec.warmUpCount = 2;
+
     std::cout << "# E1 (paper SIII-A): L1 data cache latency, Skylake\n";
     std::cout << "# nanoBench -asm \"mov R14, [R14]\" -asm_init "
                  "\"mov [R14], R14\" -config cfg_Skylake.txt\n\n";
-    std::cout << bench.run(bench.options().spec).format();
+    std::cout << session.runOrThrow(spec).format();
     std::cout << "\n# Paper reference: Core cycles 4.00, Reference "
                  "cycles 3.52,\n# PORT_2/PORT_3 0.50 each, L1_HIT "
                  "1.00.\n";

@@ -13,7 +13,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 
 namespace
 {
@@ -24,10 +24,13 @@ BenchmarkResult
 run(std::uint64_t unroll, std::uint64_t loop, const std::string &code,
     bool basic_mode = false)
 {
-    NanoBenchOptions opt;
+    // One engine for the whole driver: every run() reuses the same
+    // pooled Skylake machine instead of rebuilding it.
+    static nb::Engine engine;
+    nb::SessionOptions opt;
     opt.uarch = "Skylake";
     opt.mode = Mode::Kernel;
-    NanoBench bench(opt);
+    nb::Session session = engine.session(opt);
     BenchmarkSpec spec;
     spec.asmCode = code;
     spec.unrollCount = unroll;
@@ -38,7 +41,7 @@ run(std::uint64_t unroll, std::uint64_t loop, const std::string &code,
         "A1.01 UOPS_DISPATCHED_PORT.PORT_0\n"
         "A1.40 UOPS_DISPATCHED_PORT.PORT_6\n"
         "0E.01 UOPS_ISSUED.ANY\n");
-    return bench.run(spec);
+    return session.runOrThrow(spec);
 }
 
 } // namespace

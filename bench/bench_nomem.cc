@@ -10,7 +10,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 
 namespace
 {
@@ -22,18 +22,21 @@ using namespace nb::core;
 double
 measure(bool no_mem)
 {
-    NanoBenchOptions opt;
+    // A fresh engine per variant: both measurements start from an
+    // identical cold machine (same seed, no pooled state).
+    Engine engine;
+    SessionOptions opt;
     opt.uarch = "Skylake";
     opt.mode = Mode::Kernel;
-    NanoBench bench(opt);
-    auto &machine = bench.machine();
+    Session session = engine.session(opt);
+    auto &machine = session.machine();
 
     // Find the L1 set the counter-readout results area maps to, and
     // build an 8-block working set in that same L1 set.
-    Addr r14 = bench.runner().r14Area();
+    Addr r14 = session.runner().r14Area();
     Addr result_area_set =
         machine.caches().l1().setIndex(machine.memory().translate(
-            bench.runner().r14Area())); // proxy: use a fixed set anyway
+            session.runner().r14Area())); // proxy: use a fixed set anyway
     (void)result_area_set;
 
     // Blocks r14 + set_offset + k * 4 KB share one L1 set.
@@ -57,7 +60,7 @@ measure(bool no_mem)
     spec.fixedCounters = false;
     spec.config = CounterConfig::parseString(
         "D1.01 MEM_LOAD_RETIRED.L1_HIT\nD1.08 MEM_LOAD_RETIRED.L1_MISS");
-    auto result = bench.run(spec);
+    auto result = session.runOrThrow(spec);
     return result["MEM_LOAD_RETIRED.L1_HIT"];
 }
 

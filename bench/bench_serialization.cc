@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "common/stats.hh"
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 
 namespace
 {
@@ -28,18 +28,22 @@ measure(nb::core::SerializeMode mode, const std::string &body,
         std::uint64_t unroll, double truth)
 {
     using namespace nb::core;
-    NanoBenchOptions opt;
+    static nb::Engine engine;
+    nb::SessionOptions opt;
     opt.uarch = "Skylake";
     opt.mode = Mode::Kernel;
-    NanoBench bench(opt);
+    nb::Session session = engine.session(opt);
     BenchmarkSpec spec;
     spec.asmCode = body;
     spec.unrollCount = unroll;
     spec.warmUpCount = 1;
     spec.serialize = mode;
+    // One batch of 15 identical specs against the pooled machine.
+    auto outcomes = session.runBatch(
+        std::vector<BenchmarkSpec>(15, spec));
     std::vector<double> values;
-    for (int i = 0; i < 15; ++i)
-        values.push_back(bench.run(spec)["Core cycles"]);
+    for (const auto &outcome : outcomes)
+        values.push_back(outcome.resultOrThrow()["Core cycles"]);
     Row row;
     row.mean = nb::mean(values);
     row.sd = nb::stddev(values);

@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "cachetools/dueling_scan.hh"
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 
 int
 main(int argc, char **argv)
@@ -21,15 +21,16 @@ main(int argc, char **argv)
 
     bool quick = argc > 1 && std::string(argv[1]) == "--quick";
 
+    Engine engine;
     for (const char *name : {"IvyBridge", "Haswell", "Broadwell"}) {
-        core::NanoBenchOptions opt;
+        SessionOptions opt;
         opt.uarch = name;
         opt.mode = core::Mode::Kernel;
-        core::NanoBench bench(opt);
-        const auto &duel = bench.machine().uarch().cacheConfig.l3Dueling;
+        Session session = engine.session(opt);
+        const auto &duel =
+            session.machine().uarch().cacheConfig.l3Dueling;
 
-        DuelingScanner scanner(bench.runner(), duel.policyA,
-                               duel.policyB);
+        DuelingScanner scanner(session, duel.policyA, duel.policyB);
         DuelingScanOptions so;
         so.setLo = 448;
         so.setHi = 895;
@@ -38,7 +39,7 @@ main(int argc, char **argv)
         auto result = scanner.scan(so);
 
         std::cout << "# E7: dedicated (leader) sets on " << name << " ("
-                  << bench.machine().uarch().cpu << ")\n";
+                  << session.machine().uarch().cpu << ")\n";
         std::cout << "#   duel: A=" << duel.policyA
                   << "  B=" << duel.policyB << "\n";
         std::cout << result.summary() << "\n";

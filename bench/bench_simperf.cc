@@ -10,7 +10,7 @@
 
 #include "cache/hierarchy.hh"
 #include "cachetools/policy_sim.hh"
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 #include "uarch/uarch.hh"
 #include "x86/assembler.hh"
 
@@ -81,17 +81,52 @@ void
 BM_FullNanoBenchRun(benchmark::State &state)
 {
     setQuiet(true);
-    core::NanoBenchOptions opt;
+    Engine engine;
+    SessionOptions opt;
     opt.mode = core::Mode::Kernel;
-    core::NanoBench bench(opt);
+    Session session = engine.session(opt);
     core::BenchmarkSpec spec;
     spec.asmCode = "add RAX, RAX";
     spec.unrollCount = 100;
     spec.nMeasurements = 10;
+    spec.warmUpCount = 0;
     for (auto _ : state)
-        benchmark::DoNotOptimize(bench.run(spec).lines.size());
+        benchmark::DoNotOptimize(
+            session.runOrThrow(spec).lines.size());
 }
 BENCHMARK(BM_FullNanoBenchRun);
+
+void
+BM_SessionSetupPooled(benchmark::State &state)
+{
+    // Cost of Engine::session() once the machine is pooled -- the
+    // amortization the Engine API exists for (vs BM_SessionSetupCold).
+    setQuiet(true);
+    Engine engine;
+    SessionOptions opt;
+    opt.mode = core::Mode::Kernel;
+    engine.session(opt); // warm the pool
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.session(opt).runner().mode());
+}
+BENCHMARK(BM_SessionSetupPooled);
+
+void
+BM_SessionSetupCold(benchmark::State &state)
+{
+    // Full machine + runner construction per session: what every
+    // benchmark paid under the one-shot facade.
+    setQuiet(true);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        Engine engine;
+        SessionOptions opt;
+        opt.mode = core::Mode::Kernel;
+        opt.seed = seed++; // defeat pooling: fresh machine each time
+        benchmark::DoNotOptimize(engine.session(opt).runner().mode());
+    }
+}
+BENCHMARK(BM_SessionSetupCold);
 
 } // namespace
 

@@ -17,7 +17,7 @@
 
 #include "cachetools/cacheseq.hh"
 #include "cachetools/infer.hh"
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 
 namespace
 {
@@ -27,14 +27,14 @@ using namespace nb::cachetools;
 
 /** Policy of one level via the §VI-C toolchain. */
 std::string
-inferLevel(core::NanoBench &bench, CacheLevel level, unsigned set,
+inferLevel(Session &session, CacheLevel level, unsigned set,
            unsigned cbox, unsigned assoc)
 {
     CacheSeqOptions co;
     co.level = level;
     co.set = set;
     co.cbox = cbox;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     HardwareSetProbe probe(cs, assoc);
 
     // Tool 1 (permutation policies, [15]); applies to power-of-two
@@ -75,30 +75,31 @@ main()
               << std::setw(30) << "L2" << "L3\n";
     std::cout << std::string(100, '-') << "\n";
 
+    Engine engine;
     for (const auto &name : nb::uarch::tableOneMicroArchNames()) {
-        core::NanoBenchOptions opt;
+        SessionOptions opt;
         opt.uarch = name;
         opt.mode = core::Mode::Kernel;
-        core::NanoBench bench(opt);
-        const auto &cfg = bench.machine().uarch().cacheConfig;
+        Session session = engine.session(opt);
+        const auto &cfg = session.machine().uarch().cacheConfig;
 
         std::string l1 =
-            inferLevel(bench, CacheLevel::L1, 7, 0, cfg.l1.assoc);
+            inferLevel(session, CacheLevel::L1, 7, 0, cfg.l1.assoc);
         std::string l2 =
-            inferLevel(bench, CacheLevel::L2, 77, 0, cfg.l2.assoc);
+            inferLevel(session, CacheLevel::L2, 77, 0, cfg.l2.assoc);
         std::string l3;
         if (!cfg.l3Dueling.empty()) {
             // Adaptive: probe one leader set of each group (§VI-D).
-            std::string a = inferLevel(bench, CacheLevel::L3, 520, 0,
+            std::string a = inferLevel(session, CacheLevel::L3, 520, 0,
                                        cfg.l3.assoc);
-            std::string b = inferLevel(bench, CacheLevel::L3, 800, 0,
+            std::string b = inferLevel(session, CacheLevel::L3, 800, 0,
                                        cfg.l3.assoc);
             l3 = "adaptive: " + a + " / " + b;
         } else {
-            l3 = inferLevel(bench, CacheLevel::L3, 33, 0, cfg.l3.assoc);
+            l3 = inferLevel(session, CacheLevel::L3, 33, 0, cfg.l3.assoc);
         }
         std::cout << std::left << std::setw(13) << name << std::setw(18)
-                  << bench.machine().uarch().cpu << std::setw(8) << l1
+                  << session.machine().uarch().cpu << std::setw(8) << l1
                   << std::setw(30) << l2 << l3 << "\n";
     }
 

@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "cachetools/tlbtool.hh"
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 
 int
 main()
@@ -26,12 +26,13 @@ main()
     std::cout << "uarch        DTLB-entries  STLB-entries  "
                  "STLB-hit-penalty  walk-penalty\n"
               << std::fixed << std::setprecision(1);
+    Engine engine;
     for (const char *name : {"Skylake", "Haswell"}) {
-        core::NanoBenchOptions opt;
+        SessionOptions opt;
         opt.uarch = name;
         opt.mode = core::Mode::Kernel;
-        core::NanoBench bench(opt);
-        auto tlb = cachetools::measureTlb(bench.runner());
+        Session session = engine.session(opt);
+        auto tlb = cachetools::measureTlb(session);
         std::cout << std::left << std::setw(13) << name << std::right
                   << std::setw(8) << tlb.dtlbEntries << std::setw(14)
                   << tlb.stlbEntries << std::setw(14) << tlb.stlbPenalty

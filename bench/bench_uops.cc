@@ -10,7 +10,7 @@
 
 #include <iostream>
 
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 #include "uops/characterize.hh"
 
 int
@@ -23,15 +23,16 @@ main(int argc, char **argv)
     if (argc > 1 && std::string(argv[1]) == "--all")
         uarchs = {"Nehalem", "IvyBridge", "Haswell", "Skylake", "Zen"};
 
+    Engine engine;
     for (const auto &name : uarchs) {
-        core::NanoBenchOptions opt;
+        SessionOptions opt;
         opt.uarch = name;
         opt.mode = core::Mode::Kernel;
-        core::NanoBench bench(opt);
-        uops::Characterizer tool(bench.runner());
+        Session session = engine.session(opt);
+        uops::Characterizer tool(session);
 
         std::cout << "# E6 (paper SV): instruction characterization on "
-                  << name << " (" << bench.machine().uarch().cpu
+                  << name << " (" << session.machine().uarch().cpu
                   << ")\n";
         std::cout << uops::Characterizer::tableHeader() << "\n";
         std::cout << std::string(70, '-') << "\n";

@@ -13,7 +13,7 @@
 
 #include "cachetools/cacheseq.hh"
 #include "cachetools/infer.hh"
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 
 namespace
 {
@@ -22,14 +22,14 @@ using namespace nb;
 using namespace nb::cachetools;
 
 void
-analyzeLevel(core::NanoBench &bench, CacheLevel level, const char *name,
+analyzeLevel(Session &session, CacheLevel level, const char *name,
              unsigned set, unsigned cbox)
 {
     CacheSeqOptions co;
     co.level = level;
     co.set = set;
     co.cbox = cbox;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
 
     // Step 1: measure the associativity (no prior knowledge needed).
     HardwareSetProbe scout(cs, 32);
@@ -65,7 +65,7 @@ analyzeLevel(core::NanoBench &bench, CacheLevel level, const char *name,
     std::cout << ", policy is non-deterministic; age graph:\n";
     CacheSeqOptions rep_opt = co;
     rep_opt.repetitions = 12;
-    CacheSeq rep_cs(bench.runner(), rep_opt);
+    CacheSeq rep_cs(session, rep_opt);
     HardwareSetProbe rep_probe(rep_cs, assoc);
     auto graph = computeAgeGraph(rep_probe, assoc, 4 * assoc, assoc);
     std::cout << graph.toCsv();
@@ -79,21 +79,22 @@ main(int argc, char **argv)
     nb::setQuiet(true);
     std::string uarch = argc > 1 ? argv[1] : "IvyBridge";
 
-    core::NanoBenchOptions opt;
+    Engine engine;
+    SessionOptions opt;
     opt.uarch = uarch;
     opt.mode = core::Mode::Kernel; // WBINVD & friends need kernel space
-    core::NanoBench bench(opt);
+    Session session = engine.session(opt);
 
     std::cout << "Analyzing the caches of " << uarch << " ("
-              << bench.machine().uarch().cpu << ")\n\n";
-    analyzeLevel(bench, CacheLevel::L1, "L1D", 5, 0);
-    analyzeLevel(bench, CacheLevel::L2, "L2 ", 37, 0);
-    analyzeLevel(bench, CacheLevel::L3, "L3 ", 520, 0);
-    const auto &cfg = bench.machine().uarch().cacheConfig;
+              << session.machine().uarch().cpu << ")\n\n";
+    analyzeLevel(session, CacheLevel::L1, "L1D", 5, 0);
+    analyzeLevel(session, CacheLevel::L2, "L2 ", 37, 0);
+    analyzeLevel(session, CacheLevel::L3, "L3 ", 520, 0);
+    const auto &cfg = session.machine().uarch().cacheConfig;
     if (!cfg.l3Dueling.empty()) {
         std::cout << "\n(adaptive L3: probing the second leader group, "
                      "sets 768-831)\n";
-        analyzeLevel(bench, CacheLevel::L3, "L3*", 800, 0);
+        analyzeLevel(session, CacheLevel::L3, "L3*", 800, 0);
     }
     return 0;
 }

@@ -11,7 +11,7 @@
 
 #include <iostream>
 
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 #include "uops/characterize.hh"
 #include "x86/assembler.hh"
 
@@ -22,11 +22,12 @@ main(int argc, char **argv)
     nb::setQuiet(true);
 
     std::string uarch = argc > 1 ? argv[1] : "Skylake";
-    core::NanoBenchOptions opt;
+    Engine engine;
+    SessionOptions opt;
     opt.uarch = uarch;
     opt.mode = core::Mode::Kernel;
-    core::NanoBench bench(opt);
-    uops::Characterizer tool(bench.runner());
+    Session session = engine.session(opt);
+    uops::Characterizer tool(session);
 
     std::vector<std::string> requests;
     for (int i = 2; i < argc; ++i)
@@ -42,7 +43,7 @@ main(int argc, char **argv)
     }
 
     std::cout << "Instruction characterization on " << uarch << " ("
-              << bench.machine().uarch().cpu << "), kernel mode\n\n";
+              << session.machine().uarch().cpu << "), kernel mode\n\n";
     std::cout << uops::Characterizer::tableHeader() << "\n";
     std::cout << std::string(70, '-') << "\n";
     for (const auto &text : requests) {

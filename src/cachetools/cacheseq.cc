@@ -7,6 +7,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "core/engine.hh"
 
 namespace nb::cachetools
 {
@@ -41,6 +42,11 @@ marker(Opcode op)
 }
 
 } // namespace
+
+CacheSeq::CacheSeq(Session &session, const CacheSeqOptions &options)
+    : CacheSeq(session.runner(), options)
+{
+}
 
 CacheSeq::CacheSeq(core::Runner &runner, const CacheSeqOptions &options)
     : runner_(runner), opt_(options)

@@ -26,6 +26,11 @@
 #include "cachetools/policy_sim.hh"
 #include "core/runner.hh"
 
+namespace nb
+{
+class Session;
+}
+
 namespace nb::cachetools
 {
 
@@ -66,6 +71,10 @@ class CacheSeq
     /** @throws nb::FatalError if the runner is not in kernel mode or
      *  prefetchers cannot be disabled (§VI-D: AMD CPUs). */
     CacheSeq(core::Runner &runner, const CacheSeqOptions &options);
+
+    /** Same, bound to the runner of an Engine session. The session's
+     *  machine must outlive this tool. */
+    CacheSeq(Session &session, const CacheSeqOptions &options);
 
     /** Mean measured hits over the repetitions. */
     double run(const std::vector<SeqAccess> &seq);

@@ -22,6 +22,7 @@
 
 #include "cachetools/infer.hh"
 #include "common/logging.hh"
+#include "core/engine.hh"
 
 namespace nb::cachetools
 {
@@ -53,6 +54,13 @@ DuelingScanResult::summary() const
     if (dedicatedRanges.empty())
         os << "no dedicated sets found\n";
     return os.str();
+}
+
+DuelingScanner::DuelingScanner(Session &session, std::string policy_a,
+                               std::string policy_b)
+    : DuelingScanner(session.runner(), std::move(policy_a),
+                     std::move(policy_b))
+{
 }
 
 DuelingScanner::DuelingScanner(core::Runner &runner, std::string policy_a,

@@ -87,6 +87,11 @@ class DuelingScanner
     DuelingScanner(core::Runner &runner, std::string policy_a,
                    std::string policy_b);
 
+    /** Same, bound to the runner of an Engine session. The session's
+     *  machine must outlive this tool. */
+    DuelingScanner(Session &session, std::string policy_a,
+                   std::string policy_b);
+
     DuelingScanResult scan(const DuelingScanOptions &options);
 
     /** The signature sequence chosen by the offline search. */

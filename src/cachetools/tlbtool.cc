@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "common/logging.hh"
+#include "core/engine.hh"
 #include "x86/assembler.hh"
 
 namespace nb::cachetools
@@ -194,6 +195,12 @@ measureTlb(core::Runner &runner, unsigned max_pages)
     if (beyond > out.stlbEntries)
         out.walkPenalty = penalty_at(beyond);
     return out;
+}
+
+TlbCharacterization
+measureTlb(Session &session, unsigned max_pages)
+{
+    return measureTlb(session.runner(), max_pages);
 }
 
 } // namespace nb::cachetools

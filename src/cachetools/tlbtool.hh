@@ -12,6 +12,11 @@
 
 #include "core/runner.hh"
 
+namespace nb
+{
+class Session;
+}
+
 namespace nb::cachetools
 {
 
@@ -37,6 +42,10 @@ struct TlbCharacterization
  *                  reserved memory area, in pages).
  */
 TlbCharacterization measureTlb(core::Runner &runner,
+                               unsigned max_pages = 4096);
+
+/** Same, against the (kernel-mode) runner of an Engine session. */
+TlbCharacterization measureTlb(Session &session,
                                unsigned max_pages = 4096);
 
 } // namespace nb::cachetools

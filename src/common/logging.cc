@@ -15,6 +15,7 @@ namespace
 {
 
 std::atomic<bool> quietFlag{false};
+thread_local unsigned fatalSuppressionDepth = 0;
 
 } // namespace
 
@@ -30,14 +31,34 @@ isQuiet()
     return quietFlag.load(std::memory_order_relaxed);
 }
 
+ScopedFatalMessageSuppression::ScopedFatalMessageSuppression()
+{
+    ++fatalSuppressionDepth;
+}
+
+ScopedFatalMessageSuppression::~ScopedFatalMessageSuppression()
+{
+    --fatalSuppressionDepth;
+}
+
+bool
+fatalMessagesSuppressed()
+{
+    return fatalSuppressionDepth > 0;
+}
+
 namespace detail
 {
 
 void
 emitMessage(const char *prefix, const std::string &msg)
 {
-    // Errors are always shown; warn/inform respect the quiet flag.
+    // panic() is always shown. fatal() is shown unless a handler that
+    // converts FatalErrors to data has suppressed it; warn/inform
+    // respect the quiet flag.
     bool is_error = prefix[0] == 'p' || prefix[0] == 'f';
+    if (prefix[0] == 'f' && fatalMessagesSuppressed())
+        return;
     if (!is_error && isQuiet())
         return;
     std::cerr << prefix << msg << "\n";

@@ -95,6 +95,26 @@ inform(Args &&...args)
 void setQuiet(bool quiet);
 bool isQuiet();
 
+/**
+ * RAII guard: while an instance is alive on this thread, fatal()
+ * still throws FatalError but does not print to stderr first. Used by
+ * code that catches FatalErrors and reports them as data (e.g.
+ * Session::run), so expected failures do not spam stderr. panic() is
+ * never suppressed.
+ */
+class ScopedFatalMessageSuppression
+{
+  public:
+    ScopedFatalMessageSuppression();
+    ~ScopedFatalMessageSuppression();
+    ScopedFatalMessageSuppression(
+        const ScopedFatalMessageSuppression &) = delete;
+    ScopedFatalMessageSuppression &operator=(
+        const ScopedFatalMessageSuppression &) = delete;
+};
+
+bool fatalMessagesSuppressed();
+
 /** panic() unless the given condition holds. */
 #define NB_ASSERT(cond, ...)                                                  \
     do {                                                                      \

@@ -1,34 +1,50 @@
 /**
  * @file
  * Command-line front end: the equivalent of nanoBench.sh and
- * kernel-nanoBench.sh (paper §III-E). Example:
+ * kernel-nanoBench.sh (paper §III-E), built on the Engine / Session
+ * API. Example:
  *
  *   nanobench -asm "mov R14, [R14]" -asm_init "mov [R14], R14" \
  *             -config configs/cfg_Skylake.txt -uarch Skylake -kernel
+ *
+ * Repeating -asm (or -code) queues several benchmarks; they run as one
+ * batch against a single cached machine, and a failing spec reports an
+ * error without aborting the rest.
  */
 
-#include <cstring>
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/strings.hh"
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 #include "uarch/uarch.hh"
 #include "x86/encoding.hh"
 
 namespace
 {
 
+enum class OutputFormat : std::uint8_t
+{
+    Text,
+    Json,
+    Csv,
+};
+
 void
 printUsage()
 {
+    // The parameter defaults below are the BenchmarkSpec defaults
+    // (asserted in tests/test_engine.cc).
     std::cout <<
         "nanoBench (simulated) -- run microbenchmarks with performance "
         "counters\n\n"
         "usage: nanobench [options]\n"
-        "  -asm <code>          benchmark body (Intel syntax)\n"
+        "  -asm <code>          benchmark body (Intel syntax); may be\n"
+        "                       repeated to run a batch on one machine\n"
         "  -asm_init <code>     initialization code (not measured)\n"
         "  -code <file>         benchmark body from an encoded binary\n"
         "  -config <file>       performance-counter config file\n"
@@ -44,7 +60,17 @@ printUsage()
         "  -serialize <mode>    none | cpuid | lfence (default lfence)\n"
         "  -aperf_mperf         also read APERF/MPERF (kernel only)\n"
         "  -seed <n>            simulation seed\n"
+        "  -json | -csv         machine-readable output\n"
         "  -list_uarchs         list supported microarchitectures\n";
+}
+
+std::uint64_t
+parseCount(const std::string &option, const std::string &value)
+{
+    auto parsed = nb::parseInt(value);
+    if (!parsed || *parsed < 0)
+        nb::fatal("bad value '", value, "' for option ", option);
+    return static_cast<std::uint64_t>(*parsed);
 }
 
 std::string
@@ -65,9 +91,13 @@ main(int argc, char **argv)
     using namespace nb;
     using namespace nb::core;
 
-    NanoBenchOptions opt;
-    opt.spec.unrollCount = 100;
-    opt.spec.warmUpCount = 2;
+    SessionOptions session_opt;
+    // Shared parameters, applied to every queued benchmark. The
+    // defaults are the BenchmarkSpec defaults advertised above.
+    BenchmarkSpec shared;
+    // One entry per -asm/-code occurrence, in command-line order.
+    std::vector<BenchmarkSpec> queued;
+    OutputFormat format = OutputFormat::Text;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -78,43 +108,52 @@ main(int argc, char **argv)
                 return argv[++i];
             };
             if (arg == "-asm") {
-                opt.spec.asmCode = next();
+                BenchmarkSpec spec;
+                spec.asmCode = next();
+                queued.push_back(spec);
             } else if (arg == "-asm_init") {
-                opt.spec.asmInit = next();
+                shared.asmInit = next();
             } else if (arg == "-code") {
                 std::string blob = readBinaryFile(next());
-                opt.spec.code = x86::decode(std::vector<std::uint8_t>(
+                BenchmarkSpec spec;
+                spec.code = x86::decode(std::vector<std::uint8_t>(
                     blob.begin(), blob.end()));
+                queued.push_back(spec);
             } else if (arg == "-config") {
-                opt.configFile = next();
+                session_opt.configFile = next();
             } else if (arg == "-uarch") {
-                opt.uarch = next();
+                session_opt.uarch = next();
             } else if (arg == "-kernel") {
-                opt.mode = Mode::Kernel;
+                session_opt.mode = Mode::Kernel;
             } else if (arg == "-user") {
-                opt.mode = Mode::User;
+                session_opt.mode = Mode::User;
             } else if (arg == "-unroll_count") {
-                opt.spec.unrollCount = std::stoull(next());
+                shared.unrollCount =
+                    std::max<std::uint64_t>(1, parseCount(arg, next()));
             } else if (arg == "-loop_count") {
-                opt.spec.loopCount = std::stoull(next());
+                shared.loopCount = parseCount(arg, next());
             } else if (arg == "-n_measurements") {
-                opt.spec.nMeasurements =
-                    static_cast<unsigned>(std::stoul(next()));
+                shared.nMeasurements =
+                    static_cast<unsigned>(parseCount(arg, next()));
             } else if (arg == "-warm_up_count") {
-                opt.spec.warmUpCount =
-                    static_cast<unsigned>(std::stoul(next()));
+                shared.warmUpCount =
+                    static_cast<unsigned>(parseCount(arg, next()));
             } else if (arg == "-agg") {
-                opt.spec.agg = parseAggregate(next());
+                shared.agg = parseAggregate(next());
             } else if (arg == "-basic_mode") {
-                opt.spec.basicMode = true;
+                shared.basicMode = true;
             } else if (arg == "-no_mem") {
-                opt.spec.noMem = true;
+                shared.noMem = true;
             } else if (arg == "-serialize") {
-                opt.spec.serialize = parseSerializeMode(next());
+                shared.serialize = parseSerializeMode(next());
             } else if (arg == "-aperf_mperf") {
-                opt.spec.aperfMperf = true;
+                shared.aperfMperf = true;
             } else if (arg == "-seed") {
-                opt.seed = std::stoull(next());
+                session_opt.seed = parseCount(arg, next());
+            } else if (arg == "-json") {
+                format = OutputFormat::Json;
+            } else if (arg == "-csv") {
+                format = OutputFormat::Csv;
             } else if (arg == "-list_uarchs") {
                 for (const auto &name : uarch::allMicroArchNames())
                     std::cout << name << "\n";
@@ -127,14 +166,85 @@ main(int argc, char **argv)
             }
         }
 
-        if (opt.spec.asmCode.empty() && opt.spec.code.empty()) {
+        if (queued.empty()) {
             printUsage();
             return 1;
         }
 
-        NanoBench nb(opt);
-        std::cout << nb.run(nb.options().spec).format();
-        return 0;
+        // Merge the shared parameters into each queued body.
+        for (auto &spec : queued) {
+            auto body = std::move(spec.asmCode);
+            auto code = std::move(spec.code);
+            spec = shared;
+            spec.asmCode = std::move(body);
+            spec.code = std::move(code);
+        }
+
+        Engine engine;
+        Session session = engine.session(session_opt);
+        auto outcomes = session.runBatch(queued);
+
+        // -json always prints ONE parseable document: a bare object
+        // (result or {"error": ...}) for a single spec, an array with
+        // one entry per spec (error entries in position) for a batch.
+        // -csv prints one standalone fromCsv()-parseable document per
+        // spec, separated by blank lines, each preceded by a
+        // "# benchmark i/N" comment in batch mode.
+        bool json_array =
+            format == OutputFormat::Json && outcomes.size() > 1;
+        if (json_array)
+            std::cout << "[\n";
+
+        bool any_failed = false;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const auto &outcome = outcomes[i];
+            bool last = i + 1 == outcomes.size();
+            if (outcomes.size() > 1 && format == OutputFormat::Csv) {
+                std::cout << "# benchmark " << i + 1 << "/"
+                          << outcomes.size() << "\n";
+            }
+            if (!outcome.ok()) {
+                any_failed = true;
+                std::cerr << "benchmark " << i + 1 << "/"
+                          << outcomes.size() << " failed ("
+                          << runErrorCodeName(outcome.error().code)
+                          << "): " << outcome.error().message << "\n";
+                if (format == OutputFormat::Json) {
+                    std::cout << "{\"error\": {\"code\": \""
+                              << runErrorCodeName(outcome.error().code)
+                              << "\", \"message\": \""
+                              << jsonEscape(outcome.error().message)
+                              << "\"}}" << (json_array && !last ? "," : "")
+                              << "\n";
+                }
+                if (format == OutputFormat::Csv && !last)
+                    std::cout << "\n";
+                continue;
+            }
+            const auto &result = outcome.result();
+            if (outcomes.size() > 1 && format == OutputFormat::Text) {
+                std::cout << "## " << result.specEcho << "\n";
+            }
+            switch (format) {
+              case OutputFormat::Text:
+                std::cout << result.format();
+                break;
+              case OutputFormat::Json:
+                std::cout << result.toJson();
+                if (json_array && !last)
+                    std::cout << ",";
+                break;
+              case OutputFormat::Csv:
+                std::cout << result.toCsv();
+                break;
+            }
+            if (format != OutputFormat::Json &&
+                outcomes.size() > 1 && !last)
+                std::cout << "\n";
+        }
+        if (json_array)
+            std::cout << "]\n";
+        return any_failed ? 1 : 0;
     } catch (const FatalError &e) {
         return 1;
     } catch (const PanicError &e) {

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Engine / Session implementation.
+ */
+
+#include "engine.hh"
+
+#include "uarch/uarch.hh"
+#include "x86/assembler.hh"
+
+namespace nb
+{
+
+const char *
+runErrorCodeName(RunError::Code code)
+{
+    switch (code) {
+      case RunError::Code::InvalidSpec: return "invalid-spec";
+      case RunError::Code::AssemblyError: return "assembly-error";
+      case RunError::Code::Unsupported: return "unsupported";
+      case RunError::Code::ExecutionError: return "execution-error";
+    }
+    return "unknown";
+}
+
+// ----------------------------------------------------------- outcome --
+
+const core::BenchmarkResult &
+RunOutcome::result() const
+{
+    NB_ASSERT(ok_, "RunOutcome::result() on a failed outcome: ",
+              error_.message);
+    return result_;
+}
+
+core::BenchmarkResult &
+RunOutcome::result()
+{
+    NB_ASSERT(ok_, "RunOutcome::result() on a failed outcome: ",
+              error_.message);
+    return result_;
+}
+
+const RunError &
+RunOutcome::error() const
+{
+    NB_ASSERT(!ok_, "RunOutcome::error() on a successful outcome");
+    return error_;
+}
+
+const core::BenchmarkResult &
+RunOutcome::resultOrThrow() const
+{
+    if (!ok_) {
+        throw FatalError(std::string(runErrorCodeName(error_.code)) +
+                         ": " + error_.message);
+    }
+    return result_;
+}
+
+// ----------------------------------------------------------- session --
+
+RunOutcome
+Session::run(const core::BenchmarkSpec &spec)
+{
+    // Failures below come back as RunError data; keep fatal()'s
+    // courtesy stderr print quiet for them.
+    ScopedFatalMessageSuppression suppress_fatal_prints;
+
+    core::BenchmarkSpec resolved = spec;
+
+    // Assemble up front so syntax errors are classified separately
+    // from execution failures (and reported without running anything).
+    if (resolved.code.empty()) {
+        if (resolved.asmCode.empty()) {
+            return RunError{RunError::Code::InvalidSpec,
+                            "empty benchmark body"};
+        }
+        try {
+            resolved.code = x86::assemble(resolved.asmCode);
+        } catch (const FatalError &e) {
+            return RunError{RunError::Code::AssemblyError, e.what()};
+        }
+    }
+    if (resolved.init.empty() && !resolved.asmInit.empty()) {
+        try {
+            resolved.init = x86::assemble(resolved.asmInit);
+        } catch (const FatalError &e) {
+            return RunError{RunError::Code::AssemblyError, e.what()};
+        }
+    }
+
+    if (resolved.aperfMperf && options_.mode != core::Mode::Kernel) {
+        return RunError{
+            RunError::Code::Unsupported,
+            "APERF/MPERF can only be read in kernel space (SII-A1)"};
+    }
+
+    if (resolved.config.empty())
+        resolved.config = options_.config;
+
+    try {
+        return RunOutcome(lease_->runner->run(resolved));
+    } catch (const FatalError &e) {
+        return RunError{RunError::Code::ExecutionError, e.what()};
+    }
+}
+
+std::vector<RunOutcome>
+Session::runBatch(const std::vector<core::BenchmarkSpec> &specs)
+{
+    std::vector<RunOutcome> outcomes;
+    outcomes.reserve(specs.size());
+    for (const auto &spec : specs)
+        outcomes.push_back(run(spec));
+    return outcomes;
+}
+
+core::BenchmarkResult
+Session::runOrThrow(const core::BenchmarkSpec &spec)
+{
+    RunOutcome outcome = run(spec);
+    if (!outcome.ok())
+        throw FatalError(outcome.error().message);
+    return std::move(outcome.result());
+}
+
+// ------------------------------------------------------------ engine --
+
+Session
+Engine::session(const SessionOptions &options)
+{
+    SessionOptions resolved = options;
+    if (resolved.config.empty() && !resolved.configFile.empty())
+        resolved.config = core::CounterConfig::parseFile(
+            resolved.configFile);
+
+    // Resolve the uarch before touching the pool so unknown names
+    // throw without leaving a half-built entry behind.
+    const auto &ua = uarch::getMicroArch(resolved.uarch);
+
+    PoolKey key{resolved.uarch, resolved.mode, resolved.seed};
+    std::shared_ptr<detail::MachineLease> lease;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = pool_.find(key);
+        if (it != pool_.end()) {
+            lease = it->second;
+            ++hits_;
+        }
+    }
+    if (!lease) {
+        // Construct outside the lock: machine setup is the expensive
+        // part, and concurrent sessions for other keys should not
+        // serialize behind it.
+        auto fresh = std::make_shared<detail::MachineLease>();
+        fresh->machine =
+            std::make_unique<sim::Machine>(ua, resolved.seed);
+        fresh->runner = std::make_unique<core::Runner>(*fresh->machine,
+                                                       resolved.mode);
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = pool_.emplace(key, std::move(fresh));
+        if (inserted)
+            ++constructed_;
+        else
+            ++hits_; // another thread won the race; share its machine
+        lease = it->second;
+    }
+    return Session(std::move(lease), std::move(resolved));
+}
+
+std::size_t
+Engine::poolSize() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pool_.size();
+}
+
+std::uint64_t
+Engine::machinesConstructed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return constructed_;
+}
+
+std::uint64_t
+Engine::poolHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+void
+Engine::clearPool()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pool_.clear();
+}
+
+} // namespace nb

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Reusable benchmark-execution API.
+ *
+ * The one-shot NanoBench facade (nanobench.hh) mirrors the paper's
+ * shell scripts: one process, one machine, one benchmark, abort on
+ * error. This layer makes the same machinery reusable and batchable:
+ *
+ *  - An Engine owns a pool of simulated machine + runner pairs, keyed
+ *    by (uarch, mode, seed). Requesting a session for a key that was
+ *    already built reuses the warmed-up machine instead of paying the
+ *    full construction cost again (uops.info-style campaigns run
+ *    thousands of benchmarks per microarchitecture).
+ *
+ *  - A Session is a lightweight handle on one pooled machine. It runs
+ *    a single BenchmarkSpec (run()) or a whole batch (runBatch()),
+ *    returning RunOutcome values: user-level failures (malformed
+ *    assembly, invalid parameters, privileged instructions in user
+ *    mode) come back as RunError data instead of unwinding the caller,
+ *    so one bad spec cannot take down a batch. Internal invariant
+ *    violations still panic() -- those are bugs, not inputs.
+ *
+ * Sessions keep their machine alive through a shared lease: an Engine
+ * may be destroyed (or its pool cleared) while sessions on it are
+ * still in use. Engine::session() is thread-safe; an individual
+ * Session (and the machine behind it) is not, so run benchmarks on a
+ * session from one thread at a time.
+ */
+
+#ifndef NB_CORE_ENGINE_HH
+#define NB_CORE_ENGINE_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace nb
+{
+
+namespace detail
+{
+
+/** One pooled machine + runner pair (shared by sessions). */
+struct MachineLease
+{
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<core::Runner> runner;
+};
+
+} // namespace detail
+
+/** A user-level benchmark failure, reported as data (not an abort). */
+struct RunError
+{
+    enum class Code : std::uint8_t
+    {
+        /** The spec itself is unusable (e.g. empty benchmark body). */
+        InvalidSpec,
+        /** The asm text of the body or init part did not assemble. */
+        AssemblyError,
+        /** The spec asks for a feature this session cannot provide
+         *  (e.g. APERF/MPERF in user mode, §II-A1). */
+        Unsupported,
+        /** The benchmark failed while executing (e.g. a privileged
+         *  instruction in user mode, a bad memory access). */
+        ExecutionError,
+    };
+
+    Code code = Code::ExecutionError;
+    std::string message;
+};
+
+/** Human-readable name of a RunError code. */
+const char *runErrorCodeName(RunError::Code code);
+
+/** Result of one Session::run(): a BenchmarkResult or a RunError. */
+class RunOutcome
+{
+  public:
+    /*implicit*/ RunOutcome(core::BenchmarkResult result)
+        : result_(std::move(result)), ok_(true)
+    {
+    }
+
+    /*implicit*/ RunOutcome(RunError error)
+        : error_(std::move(error)), ok_(false)
+    {
+    }
+
+    bool ok() const { return ok_; }
+    explicit operator bool() const { return ok_; }
+
+    /** The benchmark result; asserts ok(). */
+    const core::BenchmarkResult &result() const;
+    core::BenchmarkResult &result();
+
+    /** The failure; asserts !ok(). */
+    const RunError &error() const;
+
+    /** The result if ok(); @throws nb::FatalError otherwise. */
+    const core::BenchmarkResult &resultOrThrow() const;
+
+  private:
+    core::BenchmarkResult result_;
+    RunError error_;
+    bool ok_;
+};
+
+/** Options selecting (and configuring) one pooled machine. */
+struct SessionOptions
+{
+    std::string uarch = "Skylake";
+    core::Mode mode = core::Mode::Kernel;
+    std::uint64_t seed = 42;
+    /** Path of a counter-config file, parsed once when the session is
+     *  created; empty = none. */
+    std::string configFile;
+    /** Events used when a spec's own config is empty (overrides
+     *  configFile if both are set). */
+    core::CounterConfig config;
+};
+
+/**
+ * A handle on one pooled machine, able to run benchmarks against it.
+ * Copyable and cheap to pass around; copies share the same machine.
+ */
+class Session
+{
+  public:
+    /**
+     * Run one benchmark. User-level failures are returned as RunError
+     * outcomes; PanicError (library bugs) still propagates.
+     */
+    RunOutcome run(const core::BenchmarkSpec &spec);
+
+    /**
+     * Run a batch of benchmarks against this session's machine. The
+     * returned vector has exactly one outcome per spec, in spec order;
+     * failures are recorded and the batch continues.
+     */
+    std::vector<RunOutcome> runBatch(
+        const std::vector<core::BenchmarkSpec> &specs);
+
+    /** run() + resultOrThrow(): for callers that want abort-on-error
+     *  semantics (the CLI, one-shot drivers). */
+    core::BenchmarkResult runOrThrow(const core::BenchmarkSpec &spec);
+
+    sim::Machine &machine() { return *lease_->machine; }
+    core::Runner &runner() { return *lease_->runner; }
+    const SessionOptions &options() const { return options_; }
+    const std::string &uarch() const { return options_.uarch; }
+    core::Mode mode() const { return options_.mode; }
+
+  private:
+    friend class Engine;
+    Session(std::shared_ptr<detail::MachineLease> lease,
+            SessionOptions options)
+        : lease_(std::move(lease)), options_(std::move(options))
+    {
+    }
+
+    std::shared_ptr<detail::MachineLease> lease_;
+    SessionOptions options_;
+};
+
+/**
+ * The machine pool. session() hands out Sessions backed by cached
+ * machines; identical (uarch, mode, seed) keys share one machine.
+ */
+class Engine
+{
+  public:
+    Engine() = default;
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Create (or reuse) a machine for the options and return a
+     *  session on it. @throws nb::FatalError for an unknown uarch or
+     *  an unreadable configFile. */
+    Session session(const SessionOptions &options = {});
+
+    /** Number of distinct machines currently pooled. */
+    std::size_t poolSize() const;
+
+    /** Total machines constructed over this engine's lifetime. */
+    std::uint64_t machinesConstructed() const;
+
+    /** session() calls served from the pool without construction. */
+    std::uint64_t poolHits() const;
+
+    /** Drop all pooled machines. Outstanding sessions keep theirs
+     *  alive through their lease; new sessions get fresh machines. */
+    void clearPool();
+
+  private:
+    using PoolKey = std::tuple<std::string, core::Mode, std::uint64_t>;
+
+    mutable std::mutex mutex_;
+    std::map<PoolKey, std::shared_ptr<detail::MachineLease>> pool_;
+    std::uint64_t constructed_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace nb
+
+#endif // NB_CORE_ENGINE_HH

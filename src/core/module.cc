@@ -17,6 +17,12 @@ NanoBenchModule::NanoBenchModule(sim::Machine &machine)
     : machine_(machine),
       runner_(std::make_unique<Runner>(machine, Mode::Kernel))
 {
+    // The raw kernel module is cheap by default: one copy of the code,
+    // no warm-up runs (the shell front end layers its own 100/2
+    // defaults on top, §III-E). Keep that even though BenchmarkSpec
+    // itself defaults to the front-end values.
+    spec_.unrollCount = 1;
+    spec_.warmUpCount = 0;
 }
 
 namespace

@@ -1,26 +1,41 @@
 /**
  * @file
- * Facade implementation.
+ * Deprecated facade, implemented on top of Engine / Session.
  */
 
 #include "nanobench.hh"
 
-#include "uarch/uarch.hh"
-
 namespace nb::core
 {
 
-NanoBench::NanoBench(const NanoBenchOptions &options) : options_(options)
+namespace
 {
-    const auto &ua = uarch::getMicroArch(options.uarch);
-    machine_ = std::make_unique<sim::Machine>(ua, options.seed);
-    runner_ = std::make_unique<Runner>(*machine_, options.mode);
-    if (options_.spec.config.empty()) {
-        if (!options_.configFile.empty()) {
-            options_.spec.config =
-                CounterConfig::parseFile(options_.configFile);
-        }
-    }
+
+SessionOptions
+toSessionOptions(const NanoBenchOptions &options)
+{
+    SessionOptions so;
+    so.uarch = options.uarch;
+    so.mode = options.mode;
+    so.seed = options.seed;
+    // configFile is deliberately NOT forwarded: the old facade applied
+    // it to options().spec only, never to other specs passed to run().
+    return so;
+}
+
+} // namespace
+
+NanoBench::NanoBench(const NanoBenchOptions &options)
+    : options_(options),
+      // A temporary Engine gives this facade a private machine (the
+      // session's lease keeps it alive), preserving the old semantics:
+      // every NanoBench instance gets a fresh machine, never a pooled
+      // one shared with other instances.
+      session_(Engine().session(toSessionOptions(options)))
+{
+    if (options_.spec.config.empty() && !options_.configFile.empty())
+        options_.spec.config = CounterConfig::parseFile(
+            options_.configFile);
 }
 
 } // namespace nb::core

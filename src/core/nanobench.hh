@@ -1,17 +1,23 @@
 /**
  * @file
- * High-level facade: the C++ equivalent of nanoBench.sh /
- * kernel-nanoBench.sh (paper §III-E). One call builds a simulated
- * machine for the requested microarchitecture, sets up the runner in the
- * requested mode, and runs the benchmark.
+ * DEPRECATED one-shot facade, kept as a thin shim over the Engine /
+ * Session API (engine.hh).
+ *
+ * Historically this was the C++ equivalent of nanoBench.sh /
+ * kernel-nanoBench.sh (paper §III-E): one call built a simulated
+ * machine, set up the runner, and ran the benchmark -- and every
+ * user-level error aborted via fatal(). New code should use
+ * nb::Engine / nb::Session instead, which pool machines across
+ * benchmarks, run batches, and report failures as RunOutcome values.
+ * See README.md for the migration note.
  */
 
 #ifndef NB_CORE_NANOBENCH_HH
 #define NB_CORE_NANOBENCH_HH
 
-#include <memory>
 #include <string>
 
+#include "core/engine.hh"
 #include "core/runner.hh"
 
 namespace nb::core
@@ -23,32 +29,38 @@ struct NanoBenchOptions
     std::string uarch = "Skylake";
     Mode mode = Mode::Kernel;
     std::uint64_t seed = 42;
-    /** Path of a counter-config file; empty = the shipped per-uarch
-     *  default (configs/cfg_<uarch>.txt). */
+    /** Path of a counter-config file; empty = none. */
     std::string configFile;
     BenchmarkSpec spec;
 };
 
-/** A machine + runner pair ready to execute benchmarks. */
+/**
+ * @deprecated Thin shim over nb::Engine / nb::Session: constructs a
+ * private (non-pooled) machine, exactly like the old facade, and
+ * restores abort-on-error semantics by throwing nb::FatalError for
+ * failed runs. Prefer Engine::session() in new code.
+ */
 class NanoBench
 {
   public:
     explicit NanoBench(const NanoBenchOptions &options);
 
-    BenchmarkResult run() { return runner_->run(options_.spec); }
+    BenchmarkResult run() { return session_.runOrThrow(options_.spec); }
     BenchmarkResult run(const BenchmarkSpec &spec)
     {
-        return runner_->run(spec);
+        return session_.runOrThrow(spec);
     }
 
-    sim::Machine &machine() { return *machine_; }
-    Runner &runner() { return *runner_; }
+    sim::Machine &machine() { return session_.machine(); }
+    Runner &runner() { return session_.runner(); }
     NanoBenchOptions &options() { return options_; }
+
+    /** The underlying session (for incremental migration). */
+    Session &session() { return session_; }
 
   private:
     NanoBenchOptions options_;
-    std::unique_ptr<sim::Machine> machine_;
-    std::unique_ptr<Runner> runner_;
+    Session session_;
 };
 
 } // namespace nb::core

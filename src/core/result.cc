@@ -1,0 +1,476 @@
+/**
+ * @file
+ * BenchmarkResult lookups and (de)serialization.
+ *
+ * The JSON reader is a minimal recursive-descent parser covering the
+ * subset this library emits (objects, arrays, strings with escapes,
+ * numbers); it is tolerant about member order and unknown keys so that
+ * externally post-processed files still load.
+ */
+
+#include "result.hh"
+
+#include <cctype>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/strings.hh"
+
+namespace nb::core
+{
+
+namespace
+{
+
+/** Format a double with enough digits to round-trip exactly. */
+std::string
+exactDouble(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream os;
+                os << "\\u" << std::hex << std::setw(4)
+                   << std::setfill('0') << static_cast<int>(c);
+                out += os.str();
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Backslash-escape newlines (CSV is parsed line-wise, so embedded
+ *  newlines in names or metadata would break records). */
+std::string
+escapeNewlines(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeNewlines(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 >= s.size()) {
+            out += s[i];
+            continue;
+        }
+        switch (s[++i]) {
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          default: out += '\\'; out += s[i];
+        }
+    }
+    return out;
+}
+
+std::string
+csvEscape(const std::string &raw)
+{
+    std::string s = escapeNewlines(raw);
+    if (s.find_first_of(",\"") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        out += c;
+        if (c == '"')
+            out += '"';
+    }
+    out += '"';
+    return out;
+}
+
+/** Minimal JSON cursor over the emitted subset. */
+class JsonCursor
+{
+  public:
+    explicit JsonCursor(const std::string &text) : text_(text) {}
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fatal("JSON result: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fatal("JSON result: expected '", c, "' at offset ", pos_);
+        ++pos_;
+    }
+
+    bool
+    tryConsume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fatal("JSON result: dangling escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fatal("JSON result: truncated \\u escape");
+                auto code = parseHex(text_.substr(pos_, 4));
+                if (!code)
+                    fatal("JSON result: bad \\u escape");
+                pos_ += 4;
+                // The emitter only produces \u00XX control codes.
+                out += static_cast<char>(*code & 0xFF);
+                break;
+              }
+              default:
+                fatal("JSON result: unsupported escape '\\", esc, "'");
+            }
+        }
+        if (pos_ >= text_.size())
+            fatal("JSON result: unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (start == pos_)
+            fatal("JSON result: expected a number at offset ", pos_);
+        try {
+            return std::stod(text_.substr(start, pos_ - start));
+        } catch (const std::exception &) {
+            fatal("JSON result: bad number '",
+                  text_.substr(start, pos_ - start), "'");
+        }
+    }
+
+    /** @throws nb::FatalError unless only whitespace remains. */
+    void
+    expectEnd()
+    {
+        skipWs();
+        if (pos_ < text_.size())
+            fatal("JSON result: trailing data at offset ", pos_);
+    }
+
+    /** Skip any value (used for unknown keys). */
+    void
+    skipValue()
+    {
+        char c = peek();
+        if (c == '"') {
+            parseString();
+        } else if (c == '{') {
+            ++pos_;
+            if (tryConsume('}'))
+                return;
+            do {
+                parseString();
+                expect(':');
+                skipValue();
+            } while (tryConsume(','));
+            expect('}');
+        } else if (c == '[') {
+            ++pos_;
+            if (tryConsume(']'))
+                return;
+            do {
+                skipValue();
+            } while (tryConsume(','));
+            expect(']');
+        } else {
+            parseNumber();
+        }
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+ResultLine
+parseJsonLine(JsonCursor &cur)
+{
+    ResultLine line;
+    cur.expect('{');
+    do {
+        std::string key = cur.parseString();
+        cur.expect(':');
+        if (key == "name")
+            line.name = cur.parseString();
+        else if (key == "value")
+            line.value = cur.parseNumber();
+        else
+            cur.skipValue();
+    } while (cur.tryConsume(','));
+    cur.expect('}');
+    return line;
+}
+
+/** Split one CSV record honouring double-quote escaping. */
+std::vector<std::string>
+splitCsvRecord(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quoted) {
+            if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+                field += '"';
+                ++i;
+            } else if (c == '"') {
+                quoted = false;
+            } else {
+                field += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(field);
+            field.clear();
+        } else {
+            field += c;
+        }
+    }
+    fields.push_back(field);
+    return fields;
+}
+
+} // namespace
+
+std::optional<double>
+BenchmarkResult::find(const std::string &name) const
+{
+    for (const auto &line : lines) {
+        if (line.name == name)
+            return line.value;
+    }
+    return std::nullopt;
+}
+
+double
+BenchmarkResult::operator[](const std::string &name) const
+{
+    if (auto value = find(name))
+        return *value;
+    throw ResultLookupError(name);
+}
+
+bool
+BenchmarkResult::has(const std::string &name) const
+{
+    return find(name).has_value();
+}
+
+std::string
+BenchmarkResult::format() const
+{
+    std::ostringstream os;
+    for (const auto &line : lines) {
+        os << line.name << ": " << std::fixed << std::setprecision(2)
+           << line.value << "\n";
+    }
+    return os.str();
+}
+
+std::string
+BenchmarkResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"uarch\": \"" << jsonEscape(uarch) << "\",\n";
+    os << "  \"mode\": \"" << jsonEscape(mode) << "\",\n";
+    os << "  \"spec\": \"" << jsonEscape(specEcho) << "\",\n";
+    os << "  \"last_run_cycles\": " << lastRunCycles << ",\n";
+    os << "  \"lines\": [";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"name\": \"" << jsonEscape(lines[i].name)
+           << "\", \"value\": " << exactDouble(lines[i].value) << "}";
+    }
+    os << (lines.empty() ? "]\n" : "\n  ]\n");
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+BenchmarkResult::toCsv() const
+{
+    std::ostringstream os;
+    os << "# uarch: " << escapeNewlines(uarch) << "\n";
+    os << "# mode: " << escapeNewlines(mode) << "\n";
+    os << "# spec: " << escapeNewlines(specEcho) << "\n";
+    os << "# last_run_cycles: " << lastRunCycles << "\n";
+    os << "name,value\n";
+    for (const auto &line : lines)
+        os << csvEscape(line.name) << "," << exactDouble(line.value)
+           << "\n";
+    return os.str();
+}
+
+BenchmarkResult
+BenchmarkResult::fromJson(const std::string &text)
+{
+    BenchmarkResult result;
+    JsonCursor cur(text);
+    cur.expect('{');
+    if (!cur.tryConsume('}')) {
+        do {
+            std::string key = cur.parseString();
+            cur.expect(':');
+            if (key == "uarch") {
+                result.uarch = cur.parseString();
+            } else if (key == "mode") {
+                result.mode = cur.parseString();
+            } else if (key == "spec") {
+                result.specEcho = cur.parseString();
+            } else if (key == "last_run_cycles") {
+                result.lastRunCycles =
+                    static_cast<Cycles>(cur.parseNumber());
+            } else if (key == "lines") {
+                cur.expect('[');
+                if (!cur.tryConsume(']')) {
+                    do {
+                        result.lines.push_back(parseJsonLine(cur));
+                    } while (cur.tryConsume(','));
+                    cur.expect(']');
+                }
+            } else {
+                cur.skipValue();
+            }
+        } while (cur.tryConsume(','));
+        cur.expect('}');
+    }
+    // Concatenated documents would otherwise be silently truncated to
+    // the first object.
+    cur.expectEnd();
+    return result;
+}
+
+BenchmarkResult
+BenchmarkResult::fromCsv(const std::string &text)
+{
+    BenchmarkResult result;
+    bool seen_header = false;
+    for (const auto &raw_line : split(text, '\n')) {
+        std::string line = trim(raw_line);
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::string meta = trim(line.substr(1));
+            auto colon = meta.find(':');
+            if (colon == std::string::npos)
+                continue;
+            std::string key = trim(meta.substr(0, colon));
+            std::string value =
+                unescapeNewlines(trim(meta.substr(colon + 1)));
+            if (key == "uarch")
+                result.uarch = value;
+            else if (key == "mode")
+                result.mode = value;
+            else if (key == "spec")
+                result.specEcho = value;
+            else if (key == "last_run_cycles")
+                result.lastRunCycles = static_cast<Cycles>(
+                    parseInt(value).value_or(0));
+            continue;
+        }
+        if (!seen_header) {
+            // The "name,value" column header.
+            seen_header = true;
+            continue;
+        }
+        auto fields = splitCsvRecord(raw_line);
+        if (fields.size() != 2)
+            fatal("CSV result: malformed record '", raw_line, "'");
+        double value = 0.0;
+        try {
+            value = std::stod(fields[1]);
+        } catch (const std::exception &) {
+            fatal("CSV result: bad value '", fields[1], "'");
+        }
+        result.lines.push_back({unescapeNewlines(fields[0]), value});
+    }
+    return result;
+}
+
+} // namespace nb::core

@@ -18,34 +18,33 @@ namespace nb::core
 using x86::Instruction;
 using x86::Reg;
 
-double
-BenchmarkResult::operator[](const std::string &name) const
+const char *
+modeName(Mode mode)
 {
-    for (const auto &line : lines) {
-        if (line.name == name)
-            return line.value;
-    }
-    fatal("no result line named '", name, "'");
-}
-
-bool
-BenchmarkResult::has(const std::string &name) const
-{
-    for (const auto &line : lines) {
-        if (line.name == name)
-            return true;
-    }
-    return false;
+    return mode == Mode::Kernel ? "kernel" : "user";
 }
 
 std::string
-BenchmarkResult::format() const
+BenchmarkSpec::summary() const
 {
     std::ostringstream os;
-    for (const auto &line : lines) {
-        os << line.name << ": " << std::fixed << std::setprecision(2)
-           << line.value << "\n";
-    }
+    if (!asmCode.empty())
+        os << "asm=\"" << asmCode << "\"";
+    else
+        os << "code=<" << code.size() << " insns>";
+    if (!asmInit.empty())
+        os << " init=\"" << asmInit << "\"";
+    else if (!init.empty())
+        os << " init=<" << init.size() << " insns>";
+    os << " unroll=" << unrollCount << " loop=" << loopCount
+       << " n=" << nMeasurements << " warmup=" << warmUpCount
+       << " agg=" << aggregateName(agg);
+    if (basicMode)
+        os << " basic_mode";
+    if (noMem)
+        os << " no_mem";
+    if (aperfMperf)
+        os << " aperf_mperf";
     return os.str();
 }
 
@@ -282,6 +281,11 @@ Runner::run(const BenchmarkSpec &spec)
     }
 
     lastRunCycles_ = machine_.cycles() - cycles_begin;
+
+    result.uarch = machine_.uarch().name;
+    result.mode = modeName(mode_);
+    result.specEcho = spec.summary();
+    result.lastRunCycles = lastRunCycles_;
     return result;
 }
 

@@ -28,6 +28,7 @@
 #include "common/stats.hh"
 #include "core/codegen.hh"
 #include "core/config.hh"
+#include "core/result.hh"
 #include "kernel/kalloc.hh"
 #include "sim/machine.hh"
 
@@ -41,6 +42,9 @@ enum class Mode : std::uint8_t
     Kernel,
 };
 
+/** Human-readable name of a Mode ("user" / "kernel"). */
+const char *modeName(Mode mode);
+
 /** User-visible benchmark parameters (the CLI options, §III). */
 struct BenchmarkSpec
 {
@@ -52,10 +56,13 @@ struct BenchmarkSpec
     std::vector<x86::Instruction> code;
     std::vector<x86::Instruction> init;
 
-    std::uint64_t unrollCount = 1;
+    /** Defaults follow the paper's shell-script front end (§III-E),
+     *  which the CLI usage text advertises: 100 unrolled copies and 2
+     *  discarded warm-up runs. */
+    std::uint64_t unrollCount = 100;
     std::uint64_t loopCount = 0;
     unsigned nMeasurements = 10;
-    unsigned warmUpCount = 0;
+    unsigned warmUpCount = 2;
     Aggregate agg = Aggregate::Median;
     /** Second run uses localUnrollCount=0 instead of 2x (§III-C). */
     bool basicMode = false;
@@ -67,26 +74,10 @@ struct BenchmarkSpec
     bool aperfMperf = false;
     /** Programmable events. */
     CounterConfig config;
-};
 
-/** One output line: event name and per-iteration value. */
-struct ResultLine
-{
-    std::string name;
-    double value = 0.0;
-};
-
-/** Benchmark output. */
-struct BenchmarkResult
-{
-    std::vector<ResultLine> lines;
-
-    /** Value of a line by name; @throws nb::FatalError if absent. */
-    double operator[](const std::string &name) const;
-    bool has(const std::string &name) const;
-
-    /** Render like the paper's §III-A example output. */
-    std::string format() const;
+    /** Compact one-line echo of the spec (the BenchmarkResult
+     *  metadata). */
+    std::string summary() const;
 };
 
 /** The benchmark runner; owns the memory-area setup for one machine. */

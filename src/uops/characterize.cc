@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "core/engine.hh"
 #include "uarch/timing.hh"
 #include "x86/assembler.hh"
 
@@ -127,6 +128,11 @@ VariantResult::tableRow() const
 }
 
 Characterizer::Characterizer(core::Runner &runner) : runner_(runner) {}
+
+Characterizer::Characterizer(Session &session)
+    : Characterizer(session.runner())
+{
+}
 
 std::optional<Characterizer::ChainSpec>
 Characterizer::buildLatencyChain(const Instruction &insn) const

@@ -28,6 +28,11 @@
 
 #include "core/runner.hh"
 
+namespace nb
+{
+class Session;
+}
+
 namespace nb::uops
 {
 
@@ -58,6 +63,10 @@ class Characterizer
 {
   public:
     explicit Characterizer(core::Runner &runner);
+
+    /** Same, bound to the runner of an Engine session. The session's
+     *  machine must outlive this tool. */
+    explicit Characterizer(Session &session);
 
     /** Characterize a single variant. */
     VariantResult characterize(const x86::Instruction &insn);

@@ -10,20 +10,22 @@
 #include "cachetools/dueling_scan.hh"
 #include "cachetools/infer.hh"
 #include "cachetools/tlbtool.hh"
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 
 namespace nb::cachetools
 {
 namespace
 {
 
-core::NanoBench
-makeBench(const std::string &uarch = "Skylake")
+Session
+makeSession(const std::string &uarch = "Skylake",
+            core::Mode mode = core::Mode::Kernel)
 {
-    core::NanoBenchOptions opt;
+    Engine engine;
+    SessionOptions opt;
     opt.uarch = uarch;
-    opt.mode = core::Mode::Kernel;
-    return core::NanoBench(opt);
+    opt.mode = mode;
+    return engine.session(opt);
 }
 
 TEST(AccessSeq, ParseAndPrint)
@@ -53,29 +55,27 @@ TEST(PolicySim, TraceMatchesExpectation)
 
 TEST(CacheSeq, RequiresKernelMode)
 {
-    core::NanoBenchOptions opt;
-    opt.mode = core::Mode::User;
-    core::NanoBench bench(opt);
+    auto session = makeSession("Skylake", core::Mode::User);
     CacheSeqOptions co;
-    EXPECT_THROW(CacheSeq(bench.runner(), co), FatalError);
+    EXPECT_THROW(CacheSeq(session, co), FatalError);
 }
 
 TEST(CacheSeq, RefusesAmdWithoutPrefetchControl)
 {
     // §VI-D: "We did not consider recent AMD CPUs ... as we could not
     // find a way to disable their cache prefetchers."
-    auto bench = makeBench("Zen");
+    auto session = makeSession("Zen");
     CacheSeqOptions co;
-    EXPECT_THROW(CacheSeq(bench.runner(), co), FatalError);
+    EXPECT_THROW(CacheSeq(session, co), FatalError);
 }
 
 TEST(CacheSeq, L1HitsMatchPolicySimulation)
 {
-    auto bench = makeBench();
+    auto session = makeSession();
     CacheSeqOptions co;
     co.level = CacheLevel::L1;
     co.set = 3;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
 
     Rng rng(1);
     Rng seq_rng(2);
@@ -95,11 +95,11 @@ TEST(CacheSeq, L1HitsMatchPolicySimulation)
 
 TEST(CacheSeq, L2HitsMatchPolicySimulation)
 {
-    auto bench = makeBench(); // Skylake L2: QLRU_H00_M1_R2_U1, 4-way
+    auto session = makeSession(); // Skylake L2: QLRU_H00_M1_R2_U1, 4-way
     CacheSeqOptions co;
     co.level = CacheLevel::L2;
     co.set = 99;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     Rng rng(1);
     Rng seq_rng(7);
     for (int trial = 0; trial < 4; ++trial) {
@@ -118,13 +118,13 @@ TEST(CacheSeq, L2HitsMatchPolicySimulation)
 
 TEST(CacheSeq, L3TargetsChosenCbox)
 {
-    auto bench = makeBench();
+    auto session = makeSession();
     CacheSeqOptions co;
     co.level = CacheLevel::L3;
     co.set = 42;
     co.cbox = 1;
-    CacheSeq cs(bench.runner(), co);
-    auto &machine = bench.machine();
+    CacheSeq cs(session, co);
+    auto &machine = session.machine();
     auto lookups_before = machine.caches().cboxStats(1).lookups;
     cs.run("<wbinvd> B0 B1 B2 B0");
     EXPECT_GT(machine.caches().cboxStats(1).lookups, lookups_before);
@@ -138,11 +138,11 @@ TEST(CacheSeq, L3TargetsChosenCbox)
 
 TEST(CacheSeq, HitMissPartition)
 {
-    auto bench = makeBench();
+    auto session = makeSession();
     CacheSeqOptions co;
     co.level = CacheLevel::L3;
     co.set = 17;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     // All measured accesses reach the L3 and partition into hits and
     // misses.
     auto hm = cs.runHitMiss(parseAccessSeq(
@@ -153,11 +153,11 @@ TEST(CacheSeq, HitMissPartition)
 
 TEST(CacheSeq, UnmeasuredAccessesExcluded)
 {
-    auto bench = makeBench();
+    auto session = makeSession();
     CacheSeqOptions co;
     co.level = CacheLevel::L3;
     co.set = 17;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     auto hm = cs.runHitMiss(parseAccessSeq("<wbinvd> B0? B1? B0"));
     EXPECT_DOUBLE_EQ(hm.hits + hm.misses, 1.0);
     EXPECT_DOUBLE_EQ(hm.hits, 1.0);
@@ -165,18 +165,18 @@ TEST(CacheSeq, UnmeasuredAccessesExcluded)
 
 TEST(CacheSeq, Retargeting)
 {
-    auto bench = makeBench();
+    auto session = makeSession();
     CacheSeqOptions co;
     co.level = CacheLevel::L3;
     co.set = 10;
     co.cbox = 0;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     cs.run("<wbinvd> B0 B1");
     cs.setTarget(20, 1);
     cs.run("<wbinvd> B0 B1");
-    Addr paddr = bench.machine().memory().translate(cs.blockVaddr(0));
-    EXPECT_EQ(bench.machine().caches().sliceOf(paddr), 1u);
-    EXPECT_EQ(bench.machine().caches().l3Slice(1).setIndex(paddr), 20u);
+    Addr paddr = session.machine().memory().translate(cs.blockVaddr(0));
+    EXPECT_EQ(session.machine().caches().sliceOf(paddr), 1u);
+    EXPECT_EQ(session.machine().caches().l3Slice(1).setIndex(paddr), 20u);
 }
 
 // ----------------------------------------------------- assoc inference
@@ -194,11 +194,11 @@ TEST(Infer, AssociativityOnSimulatedPolicies)
 
 TEST(Infer, AssociativityOnHardware)
 {
-    auto bench = makeBench();
+    auto session = makeSession();
     CacheSeqOptions co;
     co.level = CacheLevel::L1;
     co.set = 12;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     HardwareSetProbe probe(cs, 8);
     EXPECT_EQ(inferAssociativity(probe), 8u);
 }
@@ -227,11 +227,11 @@ TEST(Infer, PermutationIdentifiesL1PlruOnHardware)
 {
     // Table I: every CPU's L1 uses PLRU; found via the first tool
     // (§VI-C1).
-    auto bench = makeBench();
+    auto session = makeSession();
     CacheSeqOptions co;
     co.level = CacheLevel::L1;
     co.set = 7;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     HardwareSetProbe probe(cs, 8);
     Rng rng(3);
     auto id = identifyPermutationPolicy(probe, &rng);
@@ -261,11 +261,11 @@ TEST(Infer, RandomSequencesIdentifySimPolicies)
 TEST(Infer, SkylakeL2PolicyUniquelyIdentified)
 {
     // Table I row: Skylake L2 = QLRU_H00_M1_R2_U1.
-    auto bench = makeBench();
+    auto session = makeSession();
     CacheSeqOptions co;
     co.level = CacheLevel::L2;
     co.set = 33;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     HardwareSetProbe probe(cs, 4);
     Rng rng(11);
     auto id = identifyPolicy(probe, rng, 100);
@@ -276,11 +276,11 @@ TEST(Infer, SkylakeL2PolicyUniquelyIdentified)
 
 TEST(Infer, NehalemL3IsMru)
 {
-    auto bench = makeBench("Nehalem");
+    auto session = makeSession("Nehalem");
     CacheSeqOptions co;
     co.level = CacheLevel::L3;
     co.set = 21;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     HardwareSetProbe probe(cs, 16);
     Rng rng(13);
     auto id = identifyPolicy(probe, rng, 60);
@@ -292,12 +292,12 @@ TEST(Infer, ProbabilisticPolicyDetectedAsNondeterministic)
 {
     // §VI-D: the IvB leader sets 768-831 use probabilistic insertion;
     // the random-sequence tool cannot identify them (age graphs can).
-    auto bench = makeBench("IvyBridge");
+    auto session = makeSession("IvyBridge");
     CacheSeqOptions co;
     co.level = CacheLevel::L3;
     co.set = 800;
     co.cbox = 0;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     HardwareSetProbe probe(cs, 12);
     Rng rng(17);
     auto id = identifyPolicy(probe, rng, 40);
@@ -355,13 +355,13 @@ TEST(AgeGraph, IvyBridgeProbabilisticSets)
     // The Figure 1 shape on the real (simulated) machine: in sets
     // 768-831, B0 is mostly gone after ~16 fresh blocks but a ~1/16
     // fraction survives much longer (§VI-D).
-    auto bench = makeBench("IvyBridge");
+    auto session = makeSession("IvyBridge");
     CacheSeqOptions co;
     co.level = CacheLevel::L3;
     co.set = 800;
     co.cbox = 0;
     co.repetitions = 16;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
     HardwareSetProbe probe(cs, 12);
     auto graph = computeAgeGraph(probe, 2, 48, 16);
     // n=0: everything hits.
@@ -378,24 +378,25 @@ TEST(AgeGraph, IvyBridgeProbabilisticSets)
 
 TEST(TlbTool, RecoversCapacitiesAndPenalties)
 {
-    auto bench = makeBench();
+    auto session = makeSession();
     // Search bounded at 2048 pages for test speed: the DTLB boundary
     // (64) is inside the range, the STLB boundary (1536) is too.
-    auto tlb = measureTlb(bench.runner(), 2048);
+    auto tlb = measureTlb(session, 2048);
     EXPECT_NEAR(tlb.dtlbEntries, 64, 2);
     EXPECT_NEAR(tlb.stlbEntries, 1536, 8);
     EXPECT_NEAR(tlb.stlbPenalty,
-                bench.machine().tlb().config().stlbLatency, 1.0);
+                session.machine().tlb().config().stlbLatency, 1.0);
     EXPECT_NEAR(tlb.walkPenalty,
-                bench.machine().tlb().config().walkLatency, 2.0);
+                session.machine().tlb().config().walkLatency, 2.0);
 }
 
 TEST(TlbTool, RequiresKernelMode)
 {
-    core::NanoBenchOptions opt;
+    Engine engine;
+    SessionOptions opt;
     opt.mode = core::Mode::User;
-    core::NanoBench bench(opt);
-    EXPECT_THROW(measureTlb(bench.runner(), 128), FatalError);
+    auto session = engine.session(opt);
+    EXPECT_THROW(measureTlb(session, 128), FatalError);
 }
 
 // ------------------------------------------------------ set dueling --
@@ -403,9 +404,9 @@ TEST(TlbTool, RequiresKernelMode)
 TEST(DuelingScan, FindsIvyBridgeLeaders)
 {
     // §VI-D: sets 512-575 and 768-831 are dedicated in ALL slices.
-    auto bench = makeBench("IvyBridge");
-    const auto &duel = bench.machine().uarch().cacheConfig.l3Dueling;
-    DuelingScanner scanner(bench.runner(), duel.policyA, duel.policyB);
+    auto session = makeSession("IvyBridge");
+    const auto &duel = session.machine().uarch().cacheConfig.l3Dueling;
+    DuelingScanner scanner(session, duel.policyA, duel.policyB);
     DuelingScanOptions so;
     so.setLo = 480;
     so.setHi = 863;
@@ -413,7 +414,7 @@ TEST(DuelingScan, FindsIvyBridgeLeaders)
     so.reps = 2;
     auto result = scanner.scan(so);
 
-    unsigned slices = bench.machine().caches().numSlices();
+    unsigned slices = session.machine().caches().numSlices();
     std::vector<bool> found_a(slices, false), found_b(slices, false);
     for (const auto &range : result.dedicatedRanges) {
         if (range.role == SetRole::FixedA && range.setLo >= 512 &&

@@ -8,8 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/engine.hh"
 #include "core/module.hh"
-#include "core/nanobench.hh"
 #include "x86/assembler.hh"
 #include "x86/encoding.hh"
 
@@ -184,27 +184,30 @@ TEST(Codegen, BodyBranchesRelocatedPerCopy)
 
 // ------------------------------------------------------------ runner --
 
-NanoBench
-makeBench(Mode mode = Mode::Kernel, const std::string &uarch = "Skylake")
+Session
+makeSession(Mode mode = Mode::Kernel, const std::string &uarch = "Skylake")
 {
-    NanoBenchOptions opt;
+    // A throwaway Engine per helper call: every test gets a fresh,
+    // private machine (the session's lease outlives the engine).
+    Engine engine;
+    SessionOptions opt;
     opt.uarch = uarch;
     opt.mode = mode;
-    return NanoBench(opt);
+    return engine.session(opt);
 }
 
 TEST(Runner, PaperSectionIIIAExample)
 {
     // ./nanoBench.sh -asm "mov R14, [R14]" -asm_init "mov [R14], R14"
     // -config cfg_Skylake.txt   ->  §III-A output.
-    auto bench = makeBench();
+    auto session = makeSession();
     BenchmarkSpec spec;
     spec.asmCode = "mov R14, [R14]";
     spec.asmInit = "mov [R14], R14";
     spec.unrollCount = 100;
     spec.warmUpCount = 2;
     spec.config = CounterConfig::forMicroArch("Skylake");
-    auto result = bench.run(spec);
+    auto result = session.runOrThrow(spec);
 
     EXPECT_NEAR(result["Instructions retired"], 1.00, 0.02);
     EXPECT_NEAR(result["Core cycles"], 4.00, 0.05);
@@ -221,12 +224,12 @@ TEST(Runner, MultiRoundCountersAllReported)
 {
     // 19 events on 4 programmable counters -> 5 rounds, automatically
     // (§III-J).
-    auto bench = makeBench();
+    auto session = makeSession();
     BenchmarkSpec spec;
     spec.asmCode = "nop";
     spec.unrollCount = 10;
     spec.config = CounterConfig::forMicroArch("Skylake");
-    auto result = bench.run(spec);
+    auto result = session.runOrThrow(spec);
     // 3 fixed + all configured events.
     EXPECT_EQ(result.lines.size(),
               3 + CounterConfig::forMicroArch("Skylake").events().size());
@@ -234,14 +237,14 @@ TEST(Runner, MultiRoundCountersAllReported)
 
 TEST(Runner, BasicModeMatchesDefault)
 {
-    auto bench = makeBench();
+    auto session = makeSession();
     BenchmarkSpec spec;
     spec.asmCode = "add RAX, RAX";
     spec.unrollCount = 64;
     spec.warmUpCount = 1;
-    auto normal = bench.run(spec)["Core cycles"];
+    auto normal = session.runOrThrow(spec)["Core cycles"];
     spec.basicMode = true;
-    auto basic = bench.run(spec)["Core cycles"];
+    auto basic = session.runOrThrow(spec)["Core cycles"];
     EXPECT_NEAR(normal, basic, 0.1);
     EXPECT_NEAR(normal, 1.0, 0.05); // 1-cycle dependency chain
 }
@@ -249,25 +252,25 @@ TEST(Runner, BasicModeMatchesDefault)
 TEST(Runner, LoopAndUnrollCombination)
 {
     // §III-F: loop_count * unroll_count executions, normalized.
-    auto bench = makeBench();
+    auto session = makeSession();
     BenchmarkSpec spec;
     spec.asmCode = "imul RAX, RAX";
     spec.unrollCount = 10;
     spec.loopCount = 20;
     spec.warmUpCount = 2;
-    auto cycles = bench.run(spec)["Core cycles"];
+    auto cycles = session.runOrThrow(spec)["Core cycles"];
     EXPECT_NEAR(cycles, 3.0, 0.25);
 }
 
 TEST(Runner, RegistersRestoredAfterRun)
 {
-    auto bench = makeBench();
-    auto &arch = bench.machine().arch();
+    auto session = makeSession();
+    auto &arch = session.machine().arch();
     arch.writeGpr(x86::Reg::RBX, 64, 0x1234567890ULL);
     BenchmarkSpec spec;
     spec.asmCode = "mov RBX, 1; mov RSP, 2; mov R14, 3";
     spec.unrollCount = 4;
-    bench.run(spec);
+    session.runOrThrow(spec);
     // §III: "After executing the microbenchmark, nanoBench
     // automatically resets them to their previous values."
     EXPECT_EQ(arch.readGpr(x86::Reg::RBX, 64), 0x1234567890ULL);
@@ -276,30 +279,30 @@ TEST(Runner, RegistersRestoredAfterRun)
 TEST(Runner, MemoryAreasInitialized)
 {
     // §III-G: RSP, RBP, RDI, RSI, R14 point into dedicated 1 MB areas.
-    auto bench = makeBench();
+    auto session = makeSession();
     BenchmarkSpec spec;
     spec.asmCode = "mov [R14], R14; mov [RDI], RDI; mov [RSI], RSI; "
                    "mov [RBP], RBP; push RAX; pop RBX";
     spec.unrollCount = 2;
-    EXPECT_NO_THROW(bench.run(spec));
+    EXPECT_NO_THROW(session.runOrThrow(spec));
 }
 
 TEST(Runner, UserModeRejectsPrivileged)
 {
-    auto bench = makeBench(Mode::User);
+    auto session = makeSession(Mode::User);
     BenchmarkSpec spec;
     spec.asmCode = "wbinvd";
     spec.unrollCount = 1;
-    EXPECT_THROW(bench.run(spec), FatalError);
+    EXPECT_THROW(session.runOrThrow(spec), FatalError);
 }
 
 TEST(Runner, KernelModeRunsPrivileged)
 {
-    auto bench = makeBench(Mode::Kernel);
+    auto session = makeSession(Mode::Kernel);
     BenchmarkSpec spec;
     spec.asmCode = "cli; sti";
     spec.unrollCount = 2;
-    EXPECT_NO_THROW(bench.run(spec));
+    EXPECT_NO_THROW(session.runOrThrow(spec));
 }
 
 TEST(Runner, AperfMperfKernelOnly)
@@ -308,12 +311,12 @@ TEST(Runner, AperfMperfKernelOnly)
     spec.asmCode = "nop";
     spec.unrollCount = 8;
     spec.aperfMperf = true;
-    auto kernel = makeBench(Mode::Kernel);
-    auto result = kernel.run(spec);
+    auto kernel = makeSession(Mode::Kernel);
+    auto result = kernel.runOrThrow(spec);
     EXPECT_TRUE(result.has("APERF"));
     EXPECT_TRUE(result.has("MPERF"));
-    auto user = makeBench(Mode::User);
-    EXPECT_THROW(user.run(spec), FatalError);
+    auto user = makeSession(Mode::User);
+    EXPECT_THROW(user.runOrThrow(spec), FatalError);
 }
 
 TEST(Runner, UserModeNoisierThanKernel)
@@ -329,12 +332,12 @@ TEST(Runner, UserModeNoisierThanKernel)
     spec.warmUpCount = 1;
     spec.agg = Aggregate::Median;
 
-    auto kernel = makeBench(Mode::Kernel);
-    double k = kernel.run(spec)["Core cycles"];
+    auto kernel = makeSession(Mode::Kernel);
+    double k = kernel.runOrThrow(spec)["Core cycles"];
     EXPECT_NEAR(k, 1.0, 0.05);
 
-    auto user = makeBench(Mode::User);
-    double u = user.run(spec)["Core cycles"];
+    auto user = makeSession(Mode::User);
+    double u = user.runOrThrow(spec)["Core cycles"];
     // The median still recovers a sane value (§III: repetition +
     // aggregates), just with wider tolerance.
     EXPECT_NEAR(u, 1.0, 0.4);
@@ -343,7 +346,7 @@ TEST(Runner, UserModeNoisierThanKernel)
 TEST(Runner, NoMemModeProducesSameCounts)
 {
     // §III-I: storing counters in registers instead of memory.
-    auto bench = makeBench();
+    auto session = makeSession();
     BenchmarkSpec spec;
     spec.asmCode = "mov R14, [R14]";
     spec.asmInit = "mov [R14], R14";
@@ -353,14 +356,14 @@ TEST(Runner, NoMemModeProducesSameCounts)
     spec.noMem = true;
     spec.config = CounterConfig::parseString(
         "D1.01 MEM_LOAD_RETIRED.L1_HIT\nD1.08 MEM_LOAD_RETIRED.L1_MISS");
-    auto result = bench.run(spec);
+    auto result = session.runOrThrow(spec);
     EXPECT_NEAR(result["MEM_LOAD_RETIRED.L1_HIT"], 1.0, 0.05);
     EXPECT_NEAR(result["MEM_LOAD_RETIRED.L1_MISS"], 0.0, 0.05);
 }
 
 TEST(Runner, ReservePhysicallyContiguousR14)
 {
-    auto kernel = makeBench(Mode::Kernel);
+    auto kernel = makeSession(Mode::Kernel);
     EXPECT_TRUE(kernel.runner().reserveR14Area(16 * 1024 * 1024));
     EXPECT_GE(kernel.runner().r14AreaSize(), 16u * 1024 * 1024);
     // Contiguity check through the page table.
@@ -370,15 +373,15 @@ TEST(Runner, ReservePhysicallyContiguousR14)
     EXPECT_EQ(mem.translate(base + 8 * 1024 * 1024),
               pbase + 8 * 1024 * 1024);
 
-    auto user = makeBench(Mode::User);
+    auto user = makeSession(Mode::User);
     EXPECT_FALSE(user.runner().reserveR14Area(16 * 1024 * 1024));
 }
 
 TEST(Runner, EmptyBodyIsFatal)
 {
-    auto bench = makeBench();
+    auto session = makeSession();
     BenchmarkSpec spec;
-    EXPECT_THROW(bench.run(spec), FatalError);
+    EXPECT_THROW(session.runOrThrow(spec), FatalError);
 }
 
 // ------------------------------------------------------------ module --
@@ -387,6 +390,10 @@ TEST(Module, VirtualFileRoundTrip)
 {
     sim::Machine machine(uarch::getMicroArch("Skylake"), 42);
     NanoBenchModule module(machine);
+    // The raw module defaults stay 1/0 (the 100/2 defaults belong to
+    // the shell front end / BenchmarkSpec, §III-E).
+    EXPECT_EQ(module.readFile("/sys/nb/unroll_count"), "1");
+    EXPECT_EQ(module.readFile("/sys/nb/warm_up_count"), "0");
     module.writeFile("/sys/nb/loop_count", "12");
     EXPECT_EQ(module.readFile("/sys/nb/loop_count"), "12");
     module.writeFile("/sys/nb/agg", "min");

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for the Engine / Session API: machine pooling, batch
+ * execution, RunError reporting, structured-result serialization, and
+ * the deprecated NanoBench shim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hh"
+#include "core/nanobench.hh"
+
+namespace nb
+{
+namespace
+{
+
+using core::BenchmarkResult;
+using core::BenchmarkSpec;
+using core::CounterConfig;
+using core::Mode;
+using core::ResultLookupError;
+
+// ------------------------------------------------------------- pool --
+
+TEST(Engine, PoolsMachinesByKey)
+{
+    Engine engine;
+    Session a = engine.session({});
+    Session b = engine.session({});
+    // Identical (uarch, mode, seed) keys share one machine.
+    EXPECT_EQ(&a.machine(), &b.machine());
+    EXPECT_EQ(&a.runner(), &b.runner());
+    EXPECT_EQ(engine.machinesConstructed(), 1u);
+    EXPECT_EQ(engine.poolHits(), 1u);
+    EXPECT_EQ(engine.poolSize(), 1u);
+}
+
+TEST(Engine, DistinctKeysGetDistinctMachines)
+{
+    Engine engine;
+    SessionOptions base;
+    Session a = engine.session(base);
+
+    SessionOptions other_seed = base;
+    other_seed.seed = 7;
+    Session b = engine.session(other_seed);
+    EXPECT_NE(&a.machine(), &b.machine());
+
+    SessionOptions other_mode = base;
+    other_mode.mode = Mode::User;
+    Session c = engine.session(other_mode);
+    EXPECT_NE(&a.machine(), &c.machine());
+
+    SessionOptions other_uarch = base;
+    other_uarch.uarch = "Haswell";
+    Session d = engine.session(other_uarch);
+    EXPECT_NE(&a.machine(), &d.machine());
+
+    EXPECT_EQ(engine.machinesConstructed(), 4u);
+    EXPECT_EQ(engine.poolHits(), 0u);
+}
+
+TEST(Engine, RunningTwiceConstructsMachineOnce)
+{
+    Engine engine;
+    Session session = engine.session({});
+    BenchmarkSpec spec;
+    spec.asmCode = "add RAX, RAX";
+    EXPECT_TRUE(session.run(spec).ok());
+    EXPECT_TRUE(session.run(spec).ok());
+    EXPECT_EQ(engine.machinesConstructed(), 1u);
+}
+
+TEST(Engine, SessionOutlivesEngine)
+{
+    // The lease keeps the machine alive after the engine (or its
+    // pool) is gone.
+    Session session = [] {
+        Engine engine;
+        return engine.session({});
+    }();
+    BenchmarkSpec spec;
+    spec.asmCode = "add RAX, RAX";
+    auto outcome = session.run(spec);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_NEAR(outcome.result()["Core cycles"], 1.0, 0.05);
+}
+
+TEST(Engine, ClearPoolKeepsOutstandingSessionsAlive)
+{
+    Engine engine;
+    Session a = engine.session({});
+    engine.clearPool();
+    EXPECT_EQ(engine.poolSize(), 0u);
+    Session b = engine.session({});
+    EXPECT_NE(&a.machine(), &b.machine());
+    EXPECT_EQ(engine.machinesConstructed(), 2u);
+
+    BenchmarkSpec spec;
+    spec.asmCode = "nop";
+    EXPECT_TRUE(a.run(spec).ok()); // old lease still valid
+}
+
+TEST(Engine, UnknownUarchThrowsAtSessionCreation)
+{
+    Engine engine;
+    SessionOptions opt;
+    opt.uarch = "NotACpu";
+    EXPECT_THROW(engine.session(opt), FatalError);
+}
+
+// ------------------------------------------------------------ batch --
+
+TEST(Session, RunBatchPreservesOrder)
+{
+    Engine engine;
+    Session session = engine.session({});
+
+    std::vector<BenchmarkSpec> specs(3);
+    specs[0].asmCode = "nop";
+    specs[1].asmCode = "nop; nop";
+    specs[2].asmCode = "nop; nop; nop";
+    auto outcomes = session.runBatch(specs);
+
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (unsigned i = 0; i < 3; ++i) {
+        ASSERT_TRUE(outcomes[i].ok()) << i;
+        EXPECT_NEAR(outcomes[i].result()["Instructions retired"],
+                    i + 1.0, 0.05)
+            << i;
+    }
+    EXPECT_EQ(engine.machinesConstructed(), 1u);
+}
+
+TEST(Session, BatchSurvivesFailingSpec)
+{
+    Engine engine;
+    Session session = engine.session({});
+
+    std::vector<BenchmarkSpec> specs(3);
+    specs[0].asmCode = "add RAX, RAX";
+    specs[1].asmCode = "definitely_not_x86 RAX";
+    specs[2].asmCode = "imul RAX, RAX";
+    auto outcomes = session.runBatch(specs);
+
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_TRUE(outcomes[0].ok());
+    ASSERT_FALSE(outcomes[1].ok());
+    EXPECT_EQ(outcomes[1].error().code,
+              RunError::Code::AssemblyError);
+    ASSERT_TRUE(outcomes[2].ok());
+    EXPECT_NEAR(outcomes[2].result()["Core cycles"], 3.0, 0.1);
+}
+
+// ----------------------------------------------------------- errors --
+
+TEST(Session, InvalidAsmIsAnAssemblyError)
+{
+    Engine engine;
+    Session session = engine.session({});
+    BenchmarkSpec spec;
+    spec.asmCode = "mov R14, [[R14]";
+    auto outcome = session.run(spec);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_FALSE(static_cast<bool>(outcome));
+    EXPECT_EQ(outcome.error().code, RunError::Code::AssemblyError);
+    EXPECT_THROW(outcome.resultOrThrow(), FatalError);
+}
+
+TEST(Session, EmptyBodyIsInvalidSpec)
+{
+    Engine engine;
+    Session session = engine.session({});
+    auto outcome = session.run(BenchmarkSpec{});
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code, RunError::Code::InvalidSpec);
+}
+
+TEST(Session, PrivilegedInUserModeIsAnExecutionError)
+{
+    Engine engine;
+    SessionOptions opt;
+    opt.mode = Mode::User;
+    Session session = engine.session(opt);
+    BenchmarkSpec spec;
+    spec.asmCode = "wbinvd";
+    spec.unrollCount = 1;
+    auto outcome = session.run(spec);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code, RunError::Code::ExecutionError);
+}
+
+TEST(Session, AperfMperfInUserModeIsUnsupported)
+{
+    Engine engine;
+    SessionOptions opt;
+    opt.mode = Mode::User;
+    Session session = engine.session(opt);
+    BenchmarkSpec spec;
+    spec.asmCode = "nop";
+    spec.aperfMperf = true;
+    auto outcome = session.run(spec);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code, RunError::Code::Unsupported);
+}
+
+TEST(Session, RunErrorCodeNames)
+{
+    EXPECT_STREQ(runErrorCodeName(RunError::Code::InvalidSpec),
+                 "invalid-spec");
+    EXPECT_STREQ(runErrorCodeName(RunError::Code::AssemblyError),
+                 "assembly-error");
+    EXPECT_STREQ(runErrorCodeName(RunError::Code::Unsupported),
+                 "unsupported");
+    EXPECT_STREQ(runErrorCodeName(RunError::Code::ExecutionError),
+                 "execution-error");
+}
+
+// ---------------------------------------------------------- results --
+
+TEST(Result, FindReturnsNulloptAndIndexThrows)
+{
+    BenchmarkResult result;
+    result.lines.push_back({"Core cycles", 4.0});
+    EXPECT_EQ(result.find("Core cycles"), 4.0);
+    EXPECT_EQ(result.find("No such line"), std::nullopt);
+    EXPECT_TRUE(result.has("Core cycles"));
+    EXPECT_FALSE(result.has("No such line"));
+    EXPECT_THROW(result["No such line"], ResultLookupError);
+    // ResultLookupError stays catchable as the old FatalError.
+    EXPECT_THROW(result["No such line"], FatalError);
+    try {
+        result["No such line"];
+        FAIL() << "expected ResultLookupError";
+    } catch (const ResultLookupError &e) {
+        EXPECT_EQ(e.missingName(), "No such line");
+    }
+}
+
+TEST(Result, CarriesMetadata)
+{
+    Engine engine;
+    Session session = engine.session({});
+    BenchmarkSpec spec;
+    spec.asmCode = "add RAX, RAX";
+    auto result = session.runOrThrow(spec);
+    EXPECT_EQ(result.uarch, "Skylake");
+    EXPECT_EQ(result.mode, "kernel");
+    EXPECT_NE(result.specEcho.find("add RAX, RAX"), std::string::npos);
+    EXPECT_GT(result.lastRunCycles, 0u);
+}
+
+TEST(Result, JsonRoundTrip)
+{
+    Engine engine;
+    Session session = engine.session({});
+    BenchmarkSpec spec;
+    spec.asmCode = "mov R14, [R14]";
+    spec.asmInit = "mov [R14], R14";
+    spec.config = CounterConfig::forMicroArch("Skylake");
+    auto result = session.runOrThrow(spec);
+    ASSERT_FALSE(result.lines.empty());
+
+    auto parsed = BenchmarkResult::fromJson(result.toJson());
+    EXPECT_EQ(parsed.uarch, result.uarch);
+    EXPECT_EQ(parsed.mode, result.mode);
+    EXPECT_EQ(parsed.specEcho, result.specEcho);
+    EXPECT_EQ(parsed.lastRunCycles, result.lastRunCycles);
+    ASSERT_EQ(parsed.lines.size(), result.lines.size());
+    for (std::size_t i = 0; i < result.lines.size(); ++i) {
+        EXPECT_EQ(parsed.lines[i].name, result.lines[i].name);
+        EXPECT_EQ(parsed.lines[i].value, result.lines[i].value);
+    }
+}
+
+TEST(Result, CsvRoundTrip)
+{
+    Engine engine;
+    Session session = engine.session({});
+    BenchmarkSpec spec;
+    spec.asmCode = "imul RAX, RAX";
+    auto result = session.runOrThrow(spec);
+
+    auto parsed = BenchmarkResult::fromCsv(result.toCsv());
+    EXPECT_EQ(parsed.uarch, result.uarch);
+    EXPECT_EQ(parsed.mode, result.mode);
+    EXPECT_EQ(parsed.specEcho, result.specEcho);
+    EXPECT_EQ(parsed.lastRunCycles, result.lastRunCycles);
+    ASSERT_EQ(parsed.lines.size(), result.lines.size());
+    for (std::size_t i = 0; i < result.lines.size(); ++i) {
+        EXPECT_EQ(parsed.lines[i].name, result.lines[i].name);
+        EXPECT_EQ(parsed.lines[i].value, result.lines[i].value);
+    }
+}
+
+TEST(Result, SerializersEscapeAwkwardNames)
+{
+    BenchmarkResult result;
+    result.uarch = "Skylake";
+    result.mode = "kernel";
+    result.specEcho = "asm=\"mov R14, [R14]\" unroll=100";
+    result.lastRunCycles = 42;
+    result.lines.push_back({"quote\"comma, \\slash", 1.25});
+    result.lines.push_back({"tab\tnewline\n", -3.5});
+
+    auto from_json = BenchmarkResult::fromJson(result.toJson());
+    ASSERT_EQ(from_json.lines.size(), 2u);
+    EXPECT_EQ(from_json.lines[0].name, result.lines[0].name);
+    EXPECT_EQ(from_json.lines[0].value, 1.25);
+    EXPECT_EQ(from_json.lines[1].name, result.lines[1].name);
+    EXPECT_EQ(from_json.specEcho, result.specEcho);
+
+    // CSV: embedded newlines are backslash-escaped line-wise, so the
+    // comma/quote AND newline names both survive the round trip.
+    auto from_csv = BenchmarkResult::fromCsv(result.toCsv());
+    ASSERT_EQ(from_csv.lines.size(), 2u);
+    EXPECT_EQ(from_csv.lines[0].name, result.lines[0].name);
+    EXPECT_EQ(from_csv.lines[0].value, 1.25);
+    EXPECT_EQ(from_csv.lines[1].name, result.lines[1].name);
+    EXPECT_EQ(from_csv.specEcho, result.specEcho);
+
+    // Metadata with an embedded newline must not break record
+    // parsing either.
+    BenchmarkResult nl_meta = result;
+    nl_meta.specEcho = "asm=\"line1\nline2\"";
+    auto parsed = BenchmarkResult::fromCsv(nl_meta.toCsv());
+    EXPECT_EQ(parsed.specEcho, nl_meta.specEcho);
+    EXPECT_EQ(parsed.lines.size(), 2u);
+}
+
+TEST(Result, FromJsonRejectsGarbage)
+{
+    EXPECT_THROW(BenchmarkResult::fromJson("not json"), FatalError);
+    EXPECT_THROW(BenchmarkResult::fromJson("{\"lines\": ["),
+                 FatalError);
+    // Concatenated documents must not be silently truncated to the
+    // first object.
+    BenchmarkResult r;
+    r.lines.push_back({"Core cycles", 1.0});
+    EXPECT_THROW(BenchmarkResult::fromJson(r.toJson() + r.toJson()),
+                 FatalError);
+}
+
+// --------------------------------------------- defaults & facade --
+
+TEST(Spec, DefaultsMatchTheAdvertisedCli)
+{
+    // The CLI usage text promises unroll_count 100 and warm_up_count
+    // 2 (the paper's §III-E front-end defaults); the spec must agree.
+    BenchmarkSpec spec;
+    EXPECT_EQ(spec.unrollCount, 100u);
+    EXPECT_EQ(spec.warmUpCount, 2u);
+    EXPECT_EQ(spec.loopCount, 0u);
+    EXPECT_EQ(spec.nMeasurements, 10u);
+}
+
+TEST(Facade, DeprecatedNanoBenchStillWorks)
+{
+    // The shim keeps the old one-shot semantics: private machine,
+    // FatalError on failure.
+    core::NanoBenchOptions opt;
+    opt.uarch = "Skylake";
+    opt.mode = Mode::Kernel;
+    opt.spec.asmCode = "add RAX, RAX";
+    core::NanoBench bench(opt);
+    auto result = bench.run();
+    EXPECT_NEAR(result["Core cycles"], 1.0, 0.05);
+    EXPECT_EQ(&bench.machine(), &bench.session().machine());
+
+    core::BenchmarkSpec bad;
+    bad.asmCode = "not_x86";
+    EXPECT_THROW(bench.run(bad), FatalError);
+}
+
+TEST(Facade, ConfigFileOnlyAppliesToOwnSpec)
+{
+    // Old facade semantics: configFile populates options().spec, but
+    // a custom spec passed to run() with an empty config runs with
+    // the fixed counters only.
+    core::NanoBenchOptions opt;
+    opt.configFile =
+        std::string(core::configDir()) + "/cfg_Skylake.txt";
+    opt.spec.asmCode = "nop";
+    core::NanoBench bench(opt);
+    EXPECT_FALSE(bench.options().spec.config.empty());
+    EXPECT_GT(bench.run().lines.size(), 3u);
+
+    core::BenchmarkSpec custom;
+    custom.asmCode = "nop";
+    EXPECT_EQ(bench.run(custom).lines.size(), 3u);
+}
+
+} // namespace
+} // namespace nb

@@ -8,8 +8,8 @@
 
 #include "cachetools/cacheseq.hh"
 #include "cachetools/infer.hh"
+#include "core/engine.hh"
 #include "core/module.hh"
-#include "core/nanobench.hh"
 #include "uops/characterize.hh"
 #include "x86/assembler.hh"
 
@@ -24,17 +24,18 @@ using namespace cachetools;
 TEST(Integration, TableOneRowSkylake)
 {
     // One full Table I row, produced exactly as the bench does it.
-    NanoBenchOptions opt;
+    Engine engine;
+    SessionOptions opt;
     opt.uarch = "Skylake";
     opt.mode = Mode::Kernel;
-    NanoBench bench(opt);
+    Session session = engine.session(opt);
 
     // L1: permutation tool.
     {
         CacheSeqOptions co;
         co.level = CacheLevel::L1;
         co.set = 9;
-        CacheSeq cs(bench.runner(), co);
+        CacheSeq cs(session, co);
         HardwareSetProbe probe(cs, 8);
         Rng rng(1);
         EXPECT_EQ(identifyPermutationPolicy(probe, &rng).value_or("?"),
@@ -45,7 +46,7 @@ TEST(Integration, TableOneRowSkylake)
         CacheSeqOptions co;
         co.level = CacheLevel::L2;
         co.set = 700;
-        CacheSeq cs(bench.runner(), co);
+        CacheSeq cs(session, co);
         HardwareSetProbe probe(cs, 4);
         Rng rng(2);
         auto id = identifyPolicy(probe, rng, 90);
@@ -59,7 +60,7 @@ TEST(Integration, TableOneRowSkylake)
         co.level = CacheLevel::L3;
         co.set = 1234;
         co.cbox = 0;
-        CacheSeq cs(bench.runner(), co);
+        CacheSeq cs(session, co);
         HardwareSetProbe probe(cs, 16);
         Rng rng(3);
         auto id = identifyPolicy(probe, rng, 70);
@@ -82,17 +83,16 @@ TEST(Integration, KernelFasterThanUserOnSameWork)
     spec.config = CounterConfig::parseString(
         "0E.01 UOPS_ISSUED.ANY\nA1.01 P0\nA1.02 P1\nA1.04 P2\n");
 
-    NanoBenchOptions kopt;
+    Engine engine;
+    SessionOptions kopt;
     kopt.mode = Mode::Kernel;
-    NanoBench kernel(kopt);
-    kernel.run(spec);
-    Cycles kernel_cycles = kernel.runner().lastRunCycles();
+    Session kernel = engine.session(kopt);
+    Cycles kernel_cycles = kernel.runOrThrow(spec).lastRunCycles;
 
-    NanoBenchOptions uopt;
+    SessionOptions uopt;
     uopt.mode = Mode::User;
-    NanoBench user(uopt);
-    user.run(spec);
-    Cycles user_cycles = user.runner().lastRunCycles();
+    Session user = engine.session(uopt);
+    Cycles user_cycles = user.runOrThrow(spec).lastRunCycles;
 
     EXPECT_LT(kernel_cycles, user_cycles);
 }
@@ -102,17 +102,20 @@ TEST(Integration, SerializationComparison)
     // §IV-A1: LFENCE-based measurements are stable; unfenced and
     // CPUID-fenced ones show more variance.
     auto run_stddev = [](SerializeMode mode) {
-        NanoBenchOptions opt;
+        Engine engine;
+        SessionOptions opt;
         opt.mode = Mode::Kernel;
-        NanoBench bench(opt);
+        Session session = engine.session(opt);
         BenchmarkSpec spec;
         spec.asmCode = "imul RAX, RAX";
         spec.unrollCount = 20;
         spec.serialize = mode;
         spec.warmUpCount = 1;
+        auto outcomes = session.runBatch(
+            std::vector<BenchmarkSpec>(8, spec));
         std::vector<double> values;
-        for (int i = 0; i < 8; ++i)
-            values.push_back(bench.run(spec)["Core cycles"]);
+        for (const auto &outcome : outcomes)
+            values.push_back(outcome.resultOrThrow()["Core cycles"]);
         return stddev(values);
     };
     double sd_lfence = run_stddev(SerializeMode::Lfence);
@@ -151,12 +154,13 @@ TEST(Integration, UopsOnAllMicroarchitectures)
 {
     // The characterizer runs on every modelled CPU (incl. AMD Zen,
     // which has no fixed counters but six programmable ones).
+    Engine engine;
     for (const auto &name : {"Nehalem", "Haswell", "Skylake", "Zen"}) {
-        NanoBenchOptions opt;
+        SessionOptions opt;
         opt.uarch = name;
         opt.mode = Mode::Kernel;
-        NanoBench bench(opt);
-        uops::Characterizer tool(bench.runner());
+        Session session = engine.session(opt);
+        uops::Characterizer tool(session);
         auto r = tool.characterize(x86::assemble("add RAX, RBX")[0]);
         ASSERT_TRUE(r.latency.has_value()) << name;
         EXPECT_NEAR(*r.latency, 1.0, 0.1) << name;
@@ -167,18 +171,19 @@ TEST(Integration, AdaptiveFollowerTracksDuel)
 {
     // End-to-end: follower sets on IvyBridge change observable hit
     // counts when the duel flips (the mechanism behind §VI-C3).
-    NanoBenchOptions opt;
+    Engine engine;
+    SessionOptions opt;
     opt.uarch = "IvyBridge";
     opt.mode = Mode::Kernel;
-    NanoBench bench(opt);
-    auto &duel = bench.machine().caches().duelState();
+    Session session = engine.session(opt);
+    auto &duel = session.machine().caches().duelState();
 
     CacheSeqOptions co;
     co.level = CacheLevel::L3;
     co.set = 100; // follower
     co.cbox = 0;
     co.repetitions = 4;
-    CacheSeq cs(bench.runner(), co);
+    CacheSeq cs(session, co);
 
     // A thrash-with-reuse sequence distinguishes M1 from MR161.
     auto seq = parseAccessSeq("<wbinvd> B0 B1 B2 B3 B4 B5 B6 B7 B8 B9 "

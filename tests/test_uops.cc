@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/nanobench.hh"
+#include "core/engine.hh"
 #include "uarch/timing.hh"
 #include "uops/characterize.hh"
 #include "x86/assembler.hh"
@@ -16,22 +16,20 @@ namespace nb::uops
 namespace
 {
 
-core::NanoBench &
-skylakeBench()
+Session &
+skylakeSession()
 {
-    static core::NanoBench bench([] {
-        core::NanoBenchOptions opt;
-        opt.uarch = "Skylake";
-        opt.mode = core::Mode::Kernel;
-        return opt;
-    }());
-    return bench;
+    // One pooled Skylake machine shared by all variants, exactly like
+    // a characterization campaign would use the Engine.
+    static Engine engine;
+    static Session session = engine.session({});
+    return session;
 }
 
 VariantResult
 characterize(const std::string &asm_text)
 {
-    Characterizer tool(skylakeBench().runner());
+    Characterizer tool(skylakeSession());
     return tool.characterize(x86::assemble(asm_text)[0]);
 }
 
@@ -91,11 +89,12 @@ TEST(Uops, DivIsSlowAndBlocking)
 
 TEST(Uops, PrivilegedNeedKernelMode)
 {
-    core::NanoBenchOptions opt;
+    Engine engine;
+    SessionOptions opt;
     opt.uarch = "Skylake";
     opt.mode = core::Mode::User;
-    core::NanoBench user(opt);
-    Characterizer tool(user.runner());
+    Session user = engine.session(opt);
+    Characterizer tool(user);
     auto r = tool.characterize(x86::assemble("rdmsr")[0]);
     EXPECT_TRUE(r.requiresKernelMode);
 
@@ -107,11 +106,12 @@ TEST(Uops, PrivilegedNeedKernelMode)
 
 TEST(Uops, AvxRequiresPostNehalem)
 {
-    core::NanoBenchOptions opt;
+    Engine engine;
+    SessionOptions opt;
     opt.uarch = "Nehalem";
     opt.mode = core::Mode::Kernel;
-    core::NanoBench nehalem(opt);
-    Characterizer tool(nehalem.runner());
+    Session nehalem = engine.session(opt);
+    Characterizer tool(nehalem);
     auto catalog = tool.variantCatalog();
     for (const auto &insn : catalog) {
         EXPECT_NE(insn.opcode, x86::Opcode::VADDPS);
@@ -121,7 +121,7 @@ TEST(Uops, AvxRequiresPostNehalem)
 
 TEST(Uops, CatalogIsSubstantial)
 {
-    Characterizer tool(skylakeBench().runner());
+    Characterizer tool(skylakeSession());
     EXPECT_GE(tool.variantCatalog().size(), 90u);
 }
 
@@ -182,7 +182,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Uops, FullCatalogRunsOnSkylake)
 {
-    Characterizer tool(skylakeBench().runner());
+    Characterizer tool(skylakeSession());
     auto results = tool.characterizeAll();
     EXPECT_GE(results.size(), 90u);
     for (const auto &r : results) {
