@@ -96,7 +96,7 @@ CacheSeq::setupAddressSpace()
 {
     auto &machine = runner_.machine();
     const auto &caches = machine.caches();
-    unsigned target_sets;
+    unsigned target_sets = 0;
     switch (opt_.level) {
       case CacheLevel::L1:
         target_sets = caches.l1().numSets();
@@ -327,8 +327,8 @@ CacheSeq::runHitMiss(const std::vector<SeqAccess> &seq)
     spec.fixedCounters = false;
 
     // Select the hit/miss events of the targeted level.
-    const char *hit_name;
-    const char *miss_name;
+    const char *hit_name = "";
+    const char *miss_name = "";
     switch (opt_.level) {
       case CacheLevel::L1:
         hit_name = "MEM_LOAD_RETIRED.L1_HIT";

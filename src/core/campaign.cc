@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Campaign executor implementation.
+ *
+ * The fan-out is deliberately simple: dedup first (so the work list
+ * and the duplicate resolution are fixed before any thread starts),
+ * then static strided assignment of the unique work list across the
+ * workers. No dynamic work stealing -- a campaign's spec-to-worker
+ * mapping is a pure function of (specs, options), which is what makes
+ * repeated campaigns against fresh machines bit-identical (the
+ * determinism guarantee in campaign.hh).
+ */
+
+#include "campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "core/json.hh"
+#include "core/result.hh"
+#include "uarch/uarch.hh"
+#include "x86/encoding.hh"
+
+namespace nb
+{
+
+namespace
+{
+
+/** Append a length-prefixed field to a canonical key (unambiguous
+ *  even if the payload contains the separator). */
+void
+appendField(std::string &key, const std::string &payload)
+{
+    key += std::to_string(payload.size());
+    key += ':';
+    key += payload;
+    key += '\x1f';
+}
+
+void
+appendField(std::string &key, std::uint64_t value)
+{
+    appendField(key, std::to_string(value));
+}
+
+std::string
+encodeHex(const std::vector<x86::Instruction> &code)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    if (code.empty())
+        return out;
+    auto bytes = x86::encode(code);
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out += digits[b >> 4];
+        out += digits[b & 0xF];
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+specCanonicalKey(const core::BenchmarkSpec &spec)
+{
+    std::string key;
+    appendField(key, spec.asmCode);
+    appendField(key, spec.asmInit);
+    appendField(key, encodeHex(spec.code));
+    appendField(key, encodeHex(spec.init));
+    appendField(key, spec.unrollCount);
+    appendField(key, spec.loopCount);
+    appendField(key, spec.nMeasurements);
+    appendField(key, spec.warmUpCount);
+    appendField(key, static_cast<std::uint64_t>(spec.agg));
+    appendField(key, static_cast<std::uint64_t>(spec.basicMode));
+    appendField(key, static_cast<std::uint64_t>(spec.noMem));
+    appendField(key, static_cast<std::uint64_t>(spec.serialize));
+    appendField(key, static_cast<std::uint64_t>(spec.fixedCounters));
+    appendField(key, static_cast<std::uint64_t>(spec.aperfMperf));
+    for (const auto &event : spec.config.events()) {
+        appendField(key, event.code.evsel);
+        appendField(key, event.code.umask);
+        appendField(key, static_cast<std::uint64_t>(event.id));
+        appendField(key, event.displayName);
+    }
+    return key;
+}
+
+std::uint64_t
+specHash(const core::BenchmarkSpec &spec)
+{
+    // FNV-1a, 64 bit.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : specCanonicalKey(spec)) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+// ------------------------------------------------------------ report --
+
+std::size_t
+CampaignReport::errorCount() const
+{
+    std::size_t total = 0;
+    for (std::size_t count : errorHistogram)
+        total += count;
+    return total;
+}
+
+std::string
+CampaignReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"jobs\": " << jobs << ",\n";
+    os << "  \"total_specs\": " << totalSpecs << ",\n";
+    os << "  \"unique_specs\": " << uniqueSpecs << ",\n";
+    os << "  \"cache_hits\": " << cacheHits << ",\n";
+    os << "  \"ok\": " << okCount << ",\n";
+    os << "  \"wall_seconds\": " << core::exactDouble(wallSeconds)
+       << ",\n";
+    os << "  \"per_worker_specs\": [";
+    for (std::size_t i = 0; i < perWorkerSpecs.size(); ++i)
+        os << (i ? ", " : "") << perWorkerSpecs[i];
+    os << "],\n";
+    os << "  \"errors\": {";
+    bool first = true;
+    for (unsigned i = 0; i < errorHistogram.size(); ++i) {
+        if (!errorHistogram[i])
+            continue;
+        os << (first ? "" : ", ") << "\""
+           << core::jsonEscape(
+                  runErrorCodeName(static_cast<RunError::Code>(i)))
+           << "\": " << errorHistogram[i];
+        first = false;
+    }
+    os << "}\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+CampaignReport::toCsv() const
+{
+    std::ostringstream os;
+    os << "# campaign report\n";
+    os << "key,value\n";
+    os << "jobs," << jobs << "\n";
+    os << "total_specs," << totalSpecs << "\n";
+    os << "unique_specs," << uniqueSpecs << "\n";
+    os << "cache_hits," << cacheHits << "\n";
+    os << "ok," << okCount << "\n";
+    os << "wall_seconds," << core::exactDouble(wallSeconds) << "\n";
+    for (std::size_t i = 0; i < perWorkerSpecs.size(); ++i)
+        os << "worker_" << i << "_specs," << perWorkerSpecs[i] << "\n";
+    for (unsigned i = 0; i < errorHistogram.size(); ++i) {
+        if (!errorHistogram[i])
+            continue;
+        os << core::csvEscape(
+                  std::string("error_") +
+                  runErrorCodeName(static_cast<RunError::Code>(i)))
+           << "," << errorHistogram[i] << "\n";
+    }
+    return os.str();
+}
+
+CampaignReport
+CampaignReport::fromJson(const std::string &text)
+{
+    CampaignReport report;
+    report.errorHistogram.assign(kNumRunErrorCodes, 0);
+    core::JsonCursor cur(text);
+    cur.expect('{');
+    if (!cur.tryConsume('}')) {
+        do {
+            std::string key = cur.parseString();
+            cur.expect(':');
+            if (key == "jobs") {
+                report.jobs =
+                    static_cast<unsigned>(cur.parseNumber());
+            } else if (key == "total_specs") {
+                report.totalSpecs =
+                    static_cast<std::size_t>(cur.parseNumber());
+            } else if (key == "unique_specs") {
+                report.uniqueSpecs =
+                    static_cast<std::size_t>(cur.parseNumber());
+            } else if (key == "cache_hits") {
+                report.cacheHits =
+                    static_cast<std::size_t>(cur.parseNumber());
+            } else if (key == "ok") {
+                report.okCount =
+                    static_cast<std::size_t>(cur.parseNumber());
+            } else if (key == "wall_seconds") {
+                report.wallSeconds = cur.parseNumber();
+            } else if (key == "per_worker_specs") {
+                cur.expect('[');
+                if (!cur.tryConsume(']')) {
+                    do {
+                        report.perWorkerSpecs.push_back(
+                            static_cast<std::size_t>(
+                                cur.parseNumber()));
+                    } while (cur.tryConsume(','));
+                    cur.expect(']');
+                }
+            } else if (key == "errors") {
+                cur.expect('{');
+                if (!cur.tryConsume('}')) {
+                    do {
+                        std::string name = cur.parseString();
+                        cur.expect(':');
+                        double count = cur.parseNumber();
+                        auto code = runErrorCodeFromName(name);
+                        if (!code)
+                            fatal("campaign report: unknown error "
+                                  "code '", name, "'");
+                        report.errorHistogram[static_cast<unsigned>(
+                            *code)] =
+                            static_cast<std::size_t>(count);
+                    } while (cur.tryConsume(','));
+                    cur.expect('}');
+                }
+            } else {
+                cur.skipValue();
+            }
+        } while (cur.tryConsume(','));
+        cur.expect('}');
+    }
+    cur.expectEnd();
+    return report;
+}
+
+// ---------------------------------------------------------- executor --
+
+CampaignResult
+Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
+                    const CampaignOptions &options)
+{
+    auto start = std::chrono::steady_clock::now();
+
+    // Resolve the session options once on this thread: unknown uarchs
+    // and unreadable config files throw here, before any worker
+    // starts, and workers do not repeat the file parse.
+    SessionOptions session_opt = options.session;
+    if (session_opt.config.empty() && !session_opt.configFile.empty())
+        session_opt.config =
+            core::CounterConfig::parseFile(session_opt.configFile);
+    session_opt.configFile.clear();
+    uarch::getMicroArch(session_opt.uarch);
+
+    // Dedup pass: uniqueIdx lists the spec indices to execute;
+    // sourceOf maps every input spec to its position in uniqueIdx.
+    std::vector<std::size_t> uniqueIdx;
+    std::vector<std::size_t> sourceOf(specs.size());
+    std::vector<std::size_t> multiplicity;
+    if (options.dedup) {
+        std::unordered_map<std::string, std::size_t> seen;
+        seen.reserve(specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            auto [it, inserted] = seen.emplace(
+                specCanonicalKey(specs[i]), uniqueIdx.size());
+            if (inserted) {
+                uniqueIdx.push_back(i);
+                multiplicity.push_back(1);
+            } else {
+                ++multiplicity[it->second];
+            }
+            sourceOf[i] = it->second;
+        }
+    } else {
+        uniqueIdx.resize(specs.size());
+        multiplicity.assign(specs.size(), 1);
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            uniqueIdx[i] = i;
+            sourceOf[i] = i;
+        }
+    }
+
+    std::size_t unique_count = uniqueIdx.size();
+    unsigned jobs = options.jobs;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    jobs = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, unique_count));
+
+    CampaignResult campaign;
+    campaign.report.jobs = jobs;
+    campaign.report.totalSpecs = specs.size();
+    campaign.report.uniqueSpecs = unique_count;
+    campaign.report.cacheHits = specs.size() - unique_count;
+    campaign.report.perWorkerSpecs.assign(jobs, 0);
+
+    // RunOutcome has no default state, hence the optional wrapper;
+    // every slot is filled unless a worker aborted by exception.
+    std::vector<std::optional<RunOutcome>> unique_outcomes(
+        unique_count);
+
+    std::mutex progress_mutex;
+    std::size_t settled = 0;
+    std::atomic<bool> abort{false};
+    std::exception_ptr failure;
+
+    auto worker = [&](unsigned w) {
+        try {
+            SessionOptions opt = session_opt;
+            opt.replica = w;
+            Session session = this->session(opt);
+            for (std::size_t u = w; u < unique_count; u += jobs) {
+                if (abort.load(std::memory_order_relaxed))
+                    return;
+                unique_outcomes[u] = session.run(specs[uniqueIdx[u]]);
+                ++campaign.report.perWorkerSpecs[w];
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                settled += multiplicity[u];
+                if (options.progress)
+                    options.progress(settled, specs.size());
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            if (!failure)
+                failure = std::current_exception();
+            abort.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    if (jobs <= 1) {
+        // One worker: run inline, no thread overhead.
+        if (jobs == 1)
+            worker(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(jobs);
+        for (unsigned w = 0; w < jobs; ++w)
+            threads.emplace_back(worker, w);
+        for (auto &thread : threads)
+            thread.join();
+    }
+    if (failure)
+        std::rethrow_exception(failure);
+
+    // Resolve every input spec (duplicates share the unique outcome)
+    // and fold the histogram.
+    campaign.outcomes.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &outcome = unique_outcomes[sourceOf[i]];
+        NB_ASSERT(outcome.has_value(),
+                  "campaign left spec ", i, " unexecuted");
+        campaign.outcomes.push_back(*outcome);
+        if (outcome->ok()) {
+            ++campaign.report.okCount;
+        } else {
+            ++campaign.report.errorHistogram[static_cast<unsigned>(
+                outcome->error().code)];
+        }
+    }
+
+    campaign.report.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return campaign;
+}
+
+} // namespace nb

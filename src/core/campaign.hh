@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parallel campaign executor on the Engine pool.
+ *
+ * The paper's headline use case is uops.info-style campaigns that run
+ * thousands of microbenchmarks per microarchitecture (§V). A campaign
+ * takes a vector of BenchmarkSpecs and fans it out across N worker
+ * threads. Guarantees:
+ *
+ *  - Isolation: each worker holds a private machine replica -- the
+ *    pool key is (uarch, mode, seed, workerIndex) -- so the
+ *    single-threaded Session invariant holds per worker. Replicas
+ *    stay pooled in the Engine, so a second campaign on the same
+ *    engine reuses warm machines.
+ *
+ *  - Order: the returned outcomes vector has exactly one entry per
+ *    input spec, in input order, regardless of which worker ran it.
+ *
+ *  - Determinism: specs are assigned to workers by a static stride
+ *    (worker w runs unique specs w, w+N, w+2N, ...), not by dynamic
+ *    work stealing, so repeating a campaign with the same options
+ *    against fresh machines (a new Engine, or after clearPool())
+ *    produces identical results.
+ *
+ *  - Dedup: identical specs -- compared by a canonical key covering
+ *    every BenchmarkSpec field -- are executed once and their result
+ *    shared across all duplicate slots (opt out via
+ *    CampaignOptions::dedup). Dedup happens before the fan-out, so
+ *    it is deterministic too: a duplicate always resolves to the
+ *    outcome of its first occurrence.
+ *
+ * Alongside the outcomes the executor returns a CampaignReport with
+ * wall time, per-worker spec counts, an error histogram by
+ * RunError::Code, and cache-hit stats; the report serializes to JSON
+ * (round-trippable) and CSV in the same dialect as BenchmarkResult.
+ */
+
+#ifndef NB_CORE_CAMPAIGN_HH
+#define NB_CORE_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+
+namespace nb
+{
+
+/** Options for Engine::runCampaign(). */
+struct CampaignOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency()
+     *  (clamped to the number of unique specs). */
+    unsigned jobs = 0;
+    /** Execute identical specs once and share the outcome. */
+    bool dedup = true;
+    /** Machine selection for the workers. The replica field is
+     *  overwritten with each worker's index. */
+    SessionOptions session;
+    /**
+     * Called after each spec completes, with the number of input
+     * specs settled so far (duplicates settle together with the
+     * unique spec that covers them) and the total. Invoked from
+     * worker threads under a campaign-internal mutex, so the callback
+     * itself need not be thread-safe; it must not call back into the
+     * campaign.
+     */
+    std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/** Execution statistics of one campaign. */
+struct CampaignReport
+{
+    /** Worker threads actually used. */
+    unsigned jobs = 0;
+    /** Input specs submitted. */
+    std::size_t totalSpecs = 0;
+    /** Specs actually executed after dedup. */
+    std::size_t uniqueSpecs = 0;
+    /** Input specs served from the dedup cache. */
+    std::size_t cacheHits = 0;
+    /** Outcomes (over all input specs) that were ok(). */
+    std::size_t okCount = 0;
+    /** Wall-clock time of the whole campaign in seconds. */
+    double wallSeconds = 0.0;
+    /** Specs executed by each worker (size == jobs). */
+    std::vector<std::size_t> perWorkerSpecs;
+    /** Failed outcomes (over all input specs) by RunError code,
+     *  indexed by static_cast<unsigned>(RunError::Code). */
+    std::vector<std::size_t> errorHistogram =
+        std::vector<std::size_t>(kNumRunErrorCodes, 0);
+
+    /** Failed outcomes over all input specs. */
+    std::size_t errorCount() const;
+
+    /** Serialize to a self-contained JSON object. */
+    std::string toJson() const;
+
+    /** Serialize to CSV ("key,value" rows, the BenchmarkResult
+     *  dialect). */
+    std::string toCsv() const;
+
+    /** Parse a report back from toJson() output.
+     *  @throws nb::FatalError on malformed input. */
+    static CampaignReport fromJson(const std::string &text);
+};
+
+/** Everything Engine::runCampaign() produces. */
+struct CampaignResult
+{
+    /** One outcome per input spec, in input order. */
+    std::vector<RunOutcome> outcomes;
+    CampaignReport report;
+};
+
+/**
+ * Canonical text key of a spec: two specs compare equal (for campaign
+ * dedup) iff their keys are equal. Covers every BenchmarkSpec field,
+ * including pre-assembled code (by its encoding) and the counter
+ * config.
+ */
+std::string specCanonicalKey(const core::BenchmarkSpec &spec);
+
+/** FNV-1a hash of specCanonicalKey() (stable across runs). */
+std::uint64_t specHash(const core::BenchmarkSpec &spec);
+
+} // namespace nb
+
+#endif // NB_CORE_CAMPAIGN_HH

@@ -20,6 +20,7 @@
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "core/campaign.hh"
 #include "core/engine.hh"
 #include "uarch/uarch.hh"
 #include "x86/encoding.hh"
@@ -47,6 +48,14 @@ printUsage()
         "                       repeated to run a batch on one machine\n"
         "  -asm_init <code>     initialization code (not measured)\n"
         "  -code <file>         benchmark body from an encoded binary\n"
+        "  -spec_file <file>    queue one -asm style benchmark per line\n"
+        "  -jobs <n>            campaign worker threads (default 1;\n"
+        "                       0 = one per hardware thread)\n"
+        "  -no_dedup            run duplicate specs instead of sharing\n"
+        "                       one cached result\n"
+        "  -report <file>       write the campaign report (JSON, or CSV\n"
+        "                       with -csv) to a file ('-' = stderr)\n"
+        "  -progress            print campaign progress to stderr\n"
         "  -config <file>       performance-counter config file\n"
         "  -uarch <name>        microarchitecture (default Skylake)\n"
         "  -kernel | -user      kernel- or user-space version\n"
@@ -98,6 +107,11 @@ main(int argc, char **argv)
     // One entry per -asm/-code occurrence, in command-line order.
     std::vector<BenchmarkSpec> queued;
     OutputFormat format = OutputFormat::Text;
+    unsigned jobs = 1;
+    bool dedup = true;
+    bool show_progress = false;
+    std::string spec_file;
+    std::string report_path;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -119,6 +133,16 @@ main(int argc, char **argv)
                 spec.code = x86::decode(std::vector<std::uint8_t>(
                     blob.begin(), blob.end()));
                 queued.push_back(spec);
+            } else if (arg == "-spec_file") {
+                spec_file = next();
+            } else if (arg == "-jobs") {
+                jobs = static_cast<unsigned>(parseCount(arg, next()));
+            } else if (arg == "-no_dedup") {
+                dedup = false;
+            } else if (arg == "-report") {
+                report_path = next();
+            } else if (arg == "-progress") {
+                show_progress = true;
             } else if (arg == "-config") {
                 session_opt.configFile = next();
             } else if (arg == "-uarch") {
@@ -166,6 +190,24 @@ main(int argc, char **argv)
             }
         }
 
+        // A spec file queues one -asm style benchmark per line ('#'
+        // starts a comment; blank lines are skipped), after any
+        // explicit -asm/-code options.
+        if (!spec_file.empty()) {
+            std::ifstream in(spec_file);
+            if (!in)
+                fatal("cannot open spec file '", spec_file, "'");
+            std::string line;
+            while (std::getline(in, line)) {
+                std::string body = trim(line);
+                if (body.empty() || body[0] == '#')
+                    continue;
+                BenchmarkSpec spec;
+                spec.asmCode = body;
+                queued.push_back(spec);
+            }
+        }
+
         if (queued.empty()) {
             printUsage();
             return 1;
@@ -181,8 +223,48 @@ main(int argc, char **argv)
         }
 
         Engine engine;
-        Session session = engine.session(session_opt);
-        auto outcomes = session.runBatch(queued);
+        std::vector<RunOutcome> outcomes;
+        // The single-session batch path stays the default; campaigns
+        // (worker pool, dedup cache, report) kick in as soon as any
+        // campaign option is used.
+        bool campaign_mode = jobs != 1 || !dedup || show_progress ||
+                             !spec_file.empty() || !report_path.empty();
+        if (campaign_mode) {
+            // Open the report file up front: an unwritable path must
+            // fail before hours of campaign work, not after.
+            std::ofstream report_out;
+            if (!report_path.empty() && report_path != "-") {
+                report_out.open(report_path);
+                if (!report_out)
+                    fatal("cannot write report file '", report_path,
+                          "'");
+            }
+            CampaignOptions campaign_opt;
+            campaign_opt.jobs = jobs;
+            campaign_opt.dedup = dedup;
+            campaign_opt.session = session_opt;
+            if (show_progress) {
+                campaign_opt.progress = [](std::size_t done,
+                                           std::size_t total) {
+                    std::cerr << "\rcampaign: " << done << "/" << total
+                              << (done == total ? "\n" : "");
+                };
+            }
+            auto campaign = engine.runCampaign(queued, campaign_opt);
+            outcomes = std::move(campaign.outcomes);
+            if (!report_path.empty()) {
+                std::string text = format == OutputFormat::Csv
+                                       ? campaign.report.toCsv()
+                                       : campaign.report.toJson();
+                if (report_path == "-")
+                    std::cerr << text;
+                else
+                    report_out << text;
+            }
+        } else {
+            Session session = engine.session(session_opt);
+            outcomes = session.runBatch(queued);
+        }
 
         // -json always prints ONE parseable document: a bare object
         // (result or {"error": ...}) for a single spec, an array with

@@ -23,6 +23,17 @@ runErrorCodeName(RunError::Code code)
     return "unknown";
 }
 
+std::optional<RunError::Code>
+runErrorCodeFromName(const std::string &name)
+{
+    for (unsigned i = 0; i < kNumRunErrorCodes; ++i) {
+        auto code = static_cast<RunError::Code>(i);
+        if (name == runErrorCodeName(code))
+            return code;
+    }
+    return std::nullopt;
+}
+
 // ----------------------------------------------------------- outcome --
 
 const core::BenchmarkResult &
@@ -139,7 +150,8 @@ Engine::session(const SessionOptions &options)
     // throw without leaving a half-built entry behind.
     const auto &ua = uarch::getMicroArch(resolved.uarch);
 
-    PoolKey key{resolved.uarch, resolved.mode, resolved.seed};
+    PoolKey key{resolved.uarch, resolved.mode, resolved.seed,
+                resolved.replica};
     std::shared_ptr<detail::MachineLease> lease;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -195,6 +207,14 @@ Engine::clearPool()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     pool_.clear();
+}
+
+void
+Engine::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    constructed_ = 0;
+    hits_ = 0;
 }
 
 } // namespace nb

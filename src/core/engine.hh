@@ -33,6 +33,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -69,6 +70,8 @@ struct RunError
         /** The benchmark failed while executing (e.g. a privileged
          *  instruction in user mode, a bad memory access). */
         ExecutionError,
+        // Keep ExecutionError last: kNumRunErrorCodes (and the
+        // histograms sized by it) is asserted against it below.
     };
 
     Code code = Code::ExecutionError;
@@ -77,6 +80,16 @@ struct RunError
 
 /** Human-readable name of a RunError code. */
 const char *runErrorCodeName(RunError::Code code);
+
+/** Number of distinct RunError codes (histogram sizing). */
+inline constexpr unsigned kNumRunErrorCodes = 4;
+static_assert(static_cast<unsigned>(RunError::Code::ExecutionError) ==
+                  kNumRunErrorCodes - 1,
+              "kNumRunErrorCodes must track RunError::Code");
+
+/** Inverse of runErrorCodeName(); std::nullopt for unknown names. */
+std::optional<RunError::Code> runErrorCodeFromName(
+    const std::string &name);
 
 /** Result of one Session::run(): a BenchmarkResult or a RunError. */
 class RunOutcome
@@ -117,6 +130,15 @@ struct SessionOptions
     std::string uarch = "Skylake";
     core::Mode mode = core::Mode::Kernel;
     std::uint64_t seed = 42;
+    /**
+     * Machine-replica index, part of the pool key. Sessions are
+     * single-threaded (see the file comment), so concurrent workers
+     * that want identical machines -- same uarch, mode, and seed --
+     * must each use a distinct replica to get a private copy. The
+     * campaign executor keys its workers by worker index; plain
+     * callers leave this at 0.
+     */
+    std::uint32_t replica = 0;
     /** Path of a counter-config file, parsed once when the session is
      *  created; empty = none. */
     std::string configFile;
@@ -168,9 +190,15 @@ class Session
     SessionOptions options_;
 };
 
+// Campaign executor types (campaign.hh); runCampaign() is declared
+// here so the Engine owns the entry point, and defined in campaign.cc.
+struct CampaignOptions;
+struct CampaignResult;
+
 /**
  * The machine pool. session() hands out Sessions backed by cached
- * machines; identical (uarch, mode, seed) keys share one machine.
+ * machines; identical (uarch, mode, seed, replica) keys share one
+ * machine.
  */
 class Engine
 {
@@ -184,21 +212,49 @@ class Engine
      *  an unreadable configFile. */
     Session session(const SessionOptions &options = {});
 
+    /**
+     * Run a campaign: fan @p specs out across a pool of worker
+     * threads, each holding a private machine replica (see
+     * campaign.hh for the options, report, and guarantees). Outcomes
+     * come back in spec order. @throws nb::FatalError for an unknown
+     * uarch or an unreadable configFile (before any work starts).
+     */
+    CampaignResult runCampaign(
+        const std::vector<core::BenchmarkSpec> &specs,
+        const CampaignOptions &options);
+
     /** Number of distinct machines currently pooled. */
     std::size_t poolSize() const;
 
-    /** Total machines constructed over this engine's lifetime. */
+    /**
+     * Total machines constructed over this engine's LIFETIME. This is
+     * a monotonic counter, deliberately not tied to the pool's
+     * current contents: clearPool() drops the machines but keeps the
+     * counters, so construction cost across clears stays visible.
+     * Call resetStats() for a fresh measurement window.
+     */
     std::uint64_t machinesConstructed() const;
 
-    /** session() calls served from the pool without construction. */
+    /**
+     * session() calls served from the pool without construction, over
+     * the engine's lifetime (monotonic, survives clearPool(); see
+     * machinesConstructed()).
+     */
     std::uint64_t poolHits() const;
 
     /** Drop all pooled machines. Outstanding sessions keep theirs
-     *  alive through their lease; new sessions get fresh machines. */
+     *  alive through their lease; new sessions get fresh machines.
+     *  The lifetime counters are NOT reset -- use resetStats(). */
     void clearPool();
 
+    /** Zero machinesConstructed() and poolHits() without touching the
+     *  pool itself. Benches use this to open a clean measurement
+     *  window after warm-up. */
+    void resetStats();
+
   private:
-    using PoolKey = std::tuple<std::string, core::Mode, std::uint64_t>;
+    using PoolKey = std::tuple<std::string, core::Mode, std::uint64_t,
+                               std::uint32_t>;
 
     mutable std::mutex mutex_;
     std::map<PoolKey, std::shared_ptr<detail::MachineLease>> pool_;

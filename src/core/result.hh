@@ -93,6 +93,14 @@ struct BenchmarkResult
 /** JSON string escaping (quotes, backslashes, control characters). */
 std::string jsonEscape(const std::string &s);
 
+/** CSV field escaping in this library's dialect: newlines are
+ *  backslash-escaped (records stay line-wise), then fields containing
+ *  commas or quotes are double-quoted. */
+std::string csvEscape(const std::string &raw);
+
+/** Format a double with enough digits to round-trip exactly. */
+std::string exactDouble(double v);
+
 } // namespace nb::core
 
 #endif // NB_CORE_RESULT_HH

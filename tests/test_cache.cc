@@ -436,8 +436,9 @@ TEST_P(TableOneGeometry, ConstructsAndServesAccesses)
     Hierarchy h(ua.cacheConfig, &rng);
     h.setPrefetcherControl(pf::kDisableAll);
     // 2048 sets per slice on every sliced part.
-    if (ua.cacheConfig.l3Slices > 1)
+    if (ua.cacheConfig.l3Slices > 1) {
         EXPECT_EQ(h.l3Slice(0).numSets(), 2048u);
+    }
     // L1 geometry per Table I.
     EXPECT_EQ(h.l1().numSets(), 64u);
     EXPECT_EQ(h.l1().assoc(), ua.cacheConfig.l1.assoc);

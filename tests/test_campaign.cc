@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Tests for the parallel campaign executor: in-order results across
+ * worker counts, error handling mid-batch, dedup-cache behaviour,
+ * determinism, report serialization, and the engine stats used by the
+ * benches.
+ */
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "core/campaign.hh"
+
+namespace nb
+{
+namespace
+{
+
+using core::BenchmarkSpec;
+using core::CounterConfig;
+using core::Mode;
+
+std::vector<BenchmarkSpec>
+countingSpecs(unsigned n)
+{
+    // Spec i retires i+1 instructions per iteration, so every outcome
+    // is attributable to its input position.
+    std::vector<BenchmarkSpec> specs(n);
+    std::string body = "nop";
+    for (unsigned i = 0; i < n; ++i) {
+        specs[i].asmCode = body;
+        body += "; nop";
+    }
+    return specs;
+}
+
+// ---------------------------------------------------------- ordering --
+
+class CampaignWorkers : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CampaignWorkers, ResultsComeBackInSpecOrder)
+{
+    unsigned jobs = GetParam();
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = jobs;
+    auto specs = countingSpecs(12);
+    auto campaign = engine.runCampaign(specs, opt);
+
+    ASSERT_EQ(campaign.outcomes.size(), specs.size());
+    for (unsigned i = 0; i < specs.size(); ++i) {
+        ASSERT_TRUE(campaign.outcomes[i].ok()) << i;
+        EXPECT_NEAR(
+            campaign.outcomes[i].result()["Instructions retired"],
+            i + 1.0, 0.05)
+            << i;
+    }
+
+    const auto &report = campaign.report;
+    EXPECT_EQ(report.jobs, std::min<unsigned>(jobs, 12));
+    EXPECT_EQ(report.totalSpecs, 12u);
+    EXPECT_EQ(report.uniqueSpecs, 12u);
+    EXPECT_EQ(report.cacheHits, 0u);
+    EXPECT_EQ(report.okCount, 12u);
+    EXPECT_EQ(report.errorCount(), 0u);
+    EXPECT_GT(report.wallSeconds, 0.0);
+
+    // Every worker ran its static share of the work.
+    ASSERT_EQ(report.perWorkerSpecs.size(), report.jobs);
+    std::size_t executed = 0;
+    for (unsigned w = 0; w < report.jobs; ++w) {
+        // Strided assignment: worker w gets ceil((12 - w) / jobs).
+        EXPECT_EQ(report.perWorkerSpecs[w],
+                  (12 - w + report.jobs - 1) / report.jobs)
+            << w;
+        executed += report.perWorkerSpecs[w];
+    }
+    EXPECT_EQ(executed, 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, CampaignWorkers,
+                         ::testing::Values(1u, 2u, 8u));
+
+TEST(Campaign, WorkersGetPrivateMachineReplicas)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 4;
+    auto campaign = engine.runCampaign(countingSpecs(8), opt);
+    EXPECT_EQ(campaign.report.jobs, 4u);
+    // One machine per worker, keyed (uarch, mode, seed, replica).
+    EXPECT_EQ(engine.machinesConstructed(), 4u);
+    EXPECT_EQ(engine.poolSize(), 4u);
+
+    // A second campaign on the same engine reuses the warm replicas.
+    engine.runCampaign(countingSpecs(8), opt);
+    EXPECT_EQ(engine.machinesConstructed(), 4u);
+    EXPECT_EQ(engine.poolHits(), 4u);
+}
+
+TEST(Campaign, ZeroJobsMeansHardwareConcurrency)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 0;
+    auto campaign = engine.runCampaign(countingSpecs(2), opt);
+    EXPECT_GE(campaign.report.jobs, 1u);
+    EXPECT_LE(campaign.report.jobs, 2u); // clamped to unique specs
+}
+
+TEST(Campaign, EmptySpecListYieldsEmptyCampaign)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 4;
+    auto campaign = engine.runCampaign({}, opt);
+    EXPECT_TRUE(campaign.outcomes.empty());
+    EXPECT_EQ(campaign.report.jobs, 0u);
+    EXPECT_EQ(campaign.report.totalSpecs, 0u);
+    EXPECT_EQ(engine.machinesConstructed(), 0u);
+}
+
+// ------------------------------------------------------------ errors --
+
+TEST(Campaign, ErrorInTheMiddleDoesNotDisturbNeighbours)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 2;
+    auto specs = countingSpecs(5);
+    specs[2].asmCode = "definitely_not_x86 RAX";
+    specs[3].asmCode = ""; // invalid: empty body
+    auto campaign = engine.runCampaign(specs, opt);
+
+    ASSERT_EQ(campaign.outcomes.size(), 5u);
+    EXPECT_TRUE(campaign.outcomes[0].ok());
+    EXPECT_TRUE(campaign.outcomes[1].ok());
+    ASSERT_FALSE(campaign.outcomes[2].ok());
+    EXPECT_EQ(campaign.outcomes[2].error().code,
+              RunError::Code::AssemblyError);
+    ASSERT_FALSE(campaign.outcomes[3].ok());
+    EXPECT_EQ(campaign.outcomes[3].error().code,
+              RunError::Code::InvalidSpec);
+    ASSERT_TRUE(campaign.outcomes[4].ok());
+    EXPECT_NEAR(campaign.outcomes[4].result()["Instructions retired"],
+                5.0, 0.05);
+
+    const auto &report = campaign.report;
+    EXPECT_EQ(report.okCount, 3u);
+    EXPECT_EQ(report.errorCount(), 2u);
+    EXPECT_EQ(report.errorHistogram[static_cast<unsigned>(
+                  RunError::Code::AssemblyError)],
+              1u);
+    EXPECT_EQ(report.errorHistogram[static_cast<unsigned>(
+                  RunError::Code::InvalidSpec)],
+              1u);
+}
+
+TEST(Campaign, UnknownUarchThrowsBeforeAnyWork)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.session.uarch = "NotACpu";
+    std::atomic<bool> progressed{false};
+    opt.progress = [&](std::size_t, std::size_t) {
+        progressed = true;
+    };
+    EXPECT_THROW(engine.runCampaign(countingSpecs(3), opt),
+                 FatalError);
+    EXPECT_FALSE(progressed.load());
+    EXPECT_EQ(engine.machinesConstructed(), 0u);
+}
+
+// ------------------------------------------------------------- dedup --
+
+TEST(Campaign, DedupSharesOutcomesOfIdenticalSpecs)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 2;
+    // 9 input specs, 3 unique.
+    std::vector<BenchmarkSpec> specs;
+    for (int round = 0; round < 3; ++round)
+        for (const auto &spec : countingSpecs(3))
+            specs.push_back(spec);
+    auto campaign = engine.runCampaign(specs, opt);
+
+    ASSERT_EQ(campaign.outcomes.size(), 9u);
+    EXPECT_EQ(campaign.report.uniqueSpecs, 3u);
+    EXPECT_EQ(campaign.report.cacheHits, 6u);
+    EXPECT_EQ(campaign.report.okCount, 9u);
+    std::size_t executed = 0;
+    for (auto count : campaign.report.perWorkerSpecs)
+        executed += count;
+    EXPECT_EQ(executed, 3u);
+
+    // A duplicate resolves to exactly the first occurrence's result.
+    for (unsigned i = 0; i < 9; ++i) {
+        const auto &first = campaign.outcomes[i % 3].result();
+        const auto &here = campaign.outcomes[i].result();
+        ASSERT_EQ(here.lines.size(), first.lines.size());
+        for (std::size_t l = 0; l < first.lines.size(); ++l)
+            EXPECT_EQ(here.lines[l].value, first.lines[l].value);
+    }
+}
+
+TEST(Campaign, DedupCanBeOptedOut)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 1;
+    opt.dedup = false;
+    std::vector<BenchmarkSpec> specs(4);
+    for (auto &spec : specs)
+        spec.asmCode = "add RAX, RAX";
+    auto campaign = engine.runCampaign(specs, opt);
+    EXPECT_EQ(campaign.report.uniqueSpecs, 4u);
+    EXPECT_EQ(campaign.report.cacheHits, 0u);
+    ASSERT_EQ(campaign.report.perWorkerSpecs.size(), 1u);
+    EXPECT_EQ(campaign.report.perWorkerSpecs[0], 4u);
+}
+
+TEST(Campaign, CanonicalKeySeparatesSpecParameters)
+{
+    BenchmarkSpec a;
+    a.asmCode = "add RAX, RAX";
+    BenchmarkSpec b = a;
+    EXPECT_EQ(specCanonicalKey(a), specCanonicalKey(b));
+    EXPECT_EQ(specHash(a), specHash(b));
+
+    b.unrollCount = 50;
+    EXPECT_NE(specCanonicalKey(a), specCanonicalKey(b));
+
+    b = a;
+    b.asmInit = "mov RAX, 0";
+    EXPECT_NE(specCanonicalKey(a), specCanonicalKey(b));
+
+    b = a;
+    b.serialize = core::SerializeMode::None;
+    EXPECT_NE(specCanonicalKey(a), specCanonicalKey(b));
+
+    b = a;
+    b.config = CounterConfig::forMicroArch("Skylake");
+    EXPECT_NE(specCanonicalKey(a), specCanonicalKey(b));
+
+    // Field boundaries are length-prefixed: shifting a character
+    // between adjacent string fields must change the key.
+    BenchmarkSpec c, d;
+    c.asmCode = "nop; n";
+    c.asmInit = "op";
+    d.asmCode = "nop; ";
+    d.asmInit = "nop";
+    EXPECT_NE(specCanonicalKey(c), specCanonicalKey(d));
+}
+
+// ------------------------------------------------------ determinism --
+
+TEST(Campaign, RepeatedRunsWithSameSeedAreIdentical)
+{
+    CampaignOptions opt;
+    opt.jobs = 4;
+    opt.session.seed = 7;
+    auto specs = countingSpecs(10);
+    specs.push_back(specs[3]); // exercise dedup in the comparison too
+
+    Engine engine;
+    auto first = engine.runCampaign(specs, opt);
+    // Fresh machines via clearPool(): same seed, same static
+    // assignment, so the outcomes must be bit-identical.
+    engine.clearPool();
+    auto second = engine.runCampaign(specs, opt);
+
+    ASSERT_EQ(first.outcomes.size(), second.outcomes.size());
+    for (std::size_t i = 0; i < first.outcomes.size(); ++i) {
+        ASSERT_EQ(first.outcomes[i].ok(), second.outcomes[i].ok());
+        const auto &a = first.outcomes[i].result();
+        const auto &b = second.outcomes[i].result();
+        ASSERT_EQ(a.lines.size(), b.lines.size());
+        for (std::size_t l = 0; l < a.lines.size(); ++l) {
+            EXPECT_EQ(a.lines[l].name, b.lines[l].name);
+            EXPECT_EQ(a.lines[l].value, b.lines[l].value) << i;
+        }
+    }
+    EXPECT_EQ(first.report.perWorkerSpecs,
+              second.report.perWorkerSpecs);
+}
+
+// ---------------------------------------------------------- progress --
+
+TEST(Campaign, ProgressSettlesEveryInputSpec)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 2;
+    std::vector<std::size_t> seen;
+    opt.progress = [&](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, 6u);
+        seen.push_back(done);
+    };
+    auto specs = countingSpecs(4);
+    specs.push_back(specs[0]);
+    specs.push_back(specs[1]);
+    engine.runCampaign(specs, opt);
+
+    // One callback per executed unique spec; the running "done" count
+    // is strictly increasing and ends at the input spec count
+    // (duplicates settle with their unique spec).
+    ASSERT_EQ(seen.size(), 4u);
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        EXPECT_GT(seen[i], seen[i - 1]);
+    EXPECT_EQ(seen.back(), 6u);
+}
+
+// ------------------------------------------------------------ report --
+
+TEST(CampaignReport, JsonRoundTrip)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 2;
+    auto specs = countingSpecs(5);
+    specs[1].asmCode = "not_x86_at_all";
+    specs.push_back(specs[0]);
+    auto campaign = engine.runCampaign(specs, opt);
+
+    auto parsed = CampaignReport::fromJson(campaign.report.toJson());
+    EXPECT_EQ(parsed.jobs, campaign.report.jobs);
+    EXPECT_EQ(parsed.totalSpecs, campaign.report.totalSpecs);
+    EXPECT_EQ(parsed.uniqueSpecs, campaign.report.uniqueSpecs);
+    EXPECT_EQ(parsed.cacheHits, campaign.report.cacheHits);
+    EXPECT_EQ(parsed.okCount, campaign.report.okCount);
+    EXPECT_EQ(parsed.wallSeconds, campaign.report.wallSeconds);
+    EXPECT_EQ(parsed.perWorkerSpecs, campaign.report.perWorkerSpecs);
+    EXPECT_EQ(parsed.errorHistogram, campaign.report.errorHistogram);
+}
+
+TEST(CampaignReport, FromJsonRejectsGarbage)
+{
+    EXPECT_THROW(CampaignReport::fromJson("nope"), FatalError);
+    EXPECT_THROW(CampaignReport::fromJson("{\"jobs\": 1"), FatalError);
+    EXPECT_THROW(
+        CampaignReport::fromJson(
+            "{\"errors\": {\"no-such-code\": 1}}"),
+        FatalError);
+    CampaignReport r;
+    EXPECT_THROW(CampaignReport::fromJson(r.toJson() + r.toJson()),
+                 FatalError);
+}
+
+TEST(CampaignReport, CsvListsCountersAndErrors)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 1;
+    auto specs = countingSpecs(2);
+    specs[0].asmCode = "bad_mnemonic";
+    auto campaign = engine.runCampaign(specs, opt);
+    std::string csv = campaign.report.toCsv();
+    EXPECT_NE(csv.find("total_specs,2"), std::string::npos);
+    EXPECT_NE(csv.find("ok,1"), std::string::npos);
+    EXPECT_NE(csv.find("worker_0_specs,2"), std::string::npos);
+    EXPECT_NE(csv.find("error_assembly-error,1"), std::string::npos);
+}
+
+// ------------------------------------------------------ engine stats --
+
+TEST(EngineStats, ResetStatsZeroesCountersWithoutTouchingPool)
+{
+    Engine engine;
+    engine.session({});
+    engine.session({});
+    EXPECT_EQ(engine.machinesConstructed(), 1u);
+    EXPECT_EQ(engine.poolHits(), 1u);
+
+    engine.resetStats();
+    EXPECT_EQ(engine.machinesConstructed(), 0u);
+    EXPECT_EQ(engine.poolHits(), 0u);
+    EXPECT_EQ(engine.poolSize(), 1u);
+
+    // The pool itself is untouched: the next session is still a hit.
+    engine.session({});
+    EXPECT_EQ(engine.poolHits(), 1u);
+    EXPECT_EQ(engine.machinesConstructed(), 0u);
+}
+
+TEST(EngineStats, LifetimeCountersSurviveClearPool)
+{
+    // Documented semantics: clearPool() drops machines but keeps the
+    // monotonic lifetime counters; resetStats() is the explicit way
+    // to open a fresh measurement window.
+    Engine engine;
+    engine.session({});
+    engine.session({});
+    engine.clearPool();
+    EXPECT_EQ(engine.poolSize(), 0u);
+    EXPECT_EQ(engine.machinesConstructed(), 1u);
+    EXPECT_EQ(engine.poolHits(), 1u);
+
+    engine.session({});
+    EXPECT_EQ(engine.machinesConstructed(), 2u);
+    EXPECT_EQ(engine.poolHits(), 1u);
+}
+
+} // namespace
+} // namespace nb

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Merges one or more google-benchmark JSON outputs (bench_simperf,
+bench_campaign) into a single BENCH_ci.json artifact and compares
+machine-independent RATIOS between benchmarks against a committed
+baseline (bench/BENCH_baseline.json). Ratios, not absolute times, so
+the check is robust to runner speed; a ratio more than `tolerance`
+times worse than its baseline fails the job.
+
+Checked ratios:
+  pooled_setup_ratio      BM_SessionSetupPooled / BM_SessionSetupCold
+                          (the Engine-pool amortization; regresses if
+                          pooled sessions start paying construction)
+  campaign_jobs4_vs_serial  BM_CampaignJobs/4 / BM_CampaignSerialBatch
+                          (parallel campaign throughput vs the
+                          single-session batch; regresses if the
+                          worker pool stops scaling)
+  dedup_vs_nodedup        BM_CampaignDedup/dedup:1 / dedup:0
+                          (the spec-level result cache)
+
+Usage:
+  check_bench.py --baseline bench/BENCH_baseline.json \
+      --out BENCH_ci.json simperf.json campaign.json
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# ratio name -> (numerator benchmark, denominator benchmark)
+RATIOS = {
+    "pooled_setup_ratio": ("BM_SessionSetupPooled", "BM_SessionSetupCold"),
+    "campaign_jobs4_vs_serial": ("BM_CampaignJobs/4", "BM_CampaignSerialBatch"),
+    "dedup_vs_nodedup": ("BM_CampaignDedup/dedup:1", "BM_CampaignDedup/dedup:0"),
+}
+
+
+def load_benchmarks(paths):
+    merged = {"benchmarks": []}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if "context" in doc and "context" not in merged:
+            merged["context"] = doc["context"]
+        merged["benchmarks"].extend(doc.get("benchmarks", []))
+    return merged
+
+
+def real_time_ns(benchmarks, name):
+    for entry in benchmarks:
+        if entry.get("name") == name and entry.get("run_type", "iteration") == "iteration":
+            unit = TIME_UNIT_NS.get(entry.get("time_unit", "ns"))
+            if unit is None:
+                sys.exit(f"error: unknown time unit in entry '{name}'")
+            return entry["real_time"] * unit
+    sys.exit(f"error: benchmark '{name}' not found in the merged results")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+", help="google-benchmark JSON files")
+    parser.add_argument("--baseline", required=True, help="committed baseline ratios")
+    parser.add_argument("--out", help="write the merged results here (the CI artifact)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="fail when a ratio is more than this factor worse than baseline",
+    )
+    args = parser.parse_args()
+
+    merged = load_benchmarks(args.inputs)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    observed = {}
+    for ratio_name, (numerator, denominator) in RATIOS.items():
+        observed[ratio_name] = real_time_ns(
+            merged["benchmarks"], numerator
+        ) / real_time_ns(merged["benchmarks"], denominator)
+
+    if args.out:
+        merged["ratios"] = observed
+        with open(args.out, "w") as f:
+            json.dump(merged, f, indent=2)
+
+    failed = False
+    for ratio_name, value in observed.items():
+        reference = baseline.get("ratios", {}).get(ratio_name)
+        if reference is None:
+            print(f"warn: no baseline for {ratio_name} (observed {value:.4g})")
+            continue
+        limit = reference * args.tolerance
+        verdict = "ok" if value <= limit else "REGRESSION"
+        print(
+            f"{ratio_name}: observed {value:.4g}, baseline {reference:.4g}, "
+            f"limit {limit:.4g} -> {verdict}"
+        )
+        if value > limit:
+            failed = True
+
+    if failed:
+        sys.exit("error: benchmark regression detected (see ratios above)")
+    print("bench check passed")
+
+
+if __name__ == "__main__":
+    main()
