@@ -14,6 +14,7 @@
 #include "campaign.hh"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <exception>
 #include <mutex>
@@ -21,6 +22,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/strings.hh"
 #include "core/json.hh"
 #include "core/result.hh"
 #include "uarch/uarch.hh"
@@ -65,7 +67,166 @@ encodeHex(const std::vector<x86::Instruction> &code)
     return out;
 }
 
+/** Split a spec-file line into tokens, honouring double quotes
+ *  ("add RAX, RBX" is one token, quotes stripped). Returns nullopt
+ *  for an unterminated quote. */
+std::optional<std::vector<std::string>>
+tokenizeSpecLine(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string token;
+    bool in_token = false;
+    bool quoted = false;
+    for (char c : line) {
+        if (quoted) {
+            if (c == '"')
+                quoted = false;
+            else
+                token += c;
+        } else if (c == '"') {
+            quoted = true;
+            in_token = true;
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            if (in_token) {
+                tokens.push_back(std::move(token));
+                token.clear();
+                in_token = false;
+            }
+        } else {
+            token += c;
+            in_token = true;
+        }
+    }
+    if (quoted)
+        return std::nullopt;
+    if (in_token)
+        tokens.push_back(std::move(token));
+    return tokens;
+}
+
 } // namespace
+
+unsigned
+CampaignOptions::resolvedJobs() const
+{
+    unsigned n = jobs != 0 ? jobs : std::thread::hardware_concurrency();
+    return std::max(1u, n);
+}
+
+std::vector<SpecFileEntry>
+parseSpecLines(const std::string &text,
+               const core::BenchmarkSpec &defaults)
+{
+    std::vector<SpecFileEntry> entries;
+    // Parse failures become per-entry data; keep fatal()'s courtesy
+    // stderr print quiet for them (the CLI reports them in position).
+    ScopedFatalMessageSuppression suppress_fatal_prints;
+    std::size_t line_no = 0;
+    for (const auto &raw : split(text, '\n')) {
+        ++line_no;
+        std::string line = trim(raw);
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        SpecFileEntry entry;
+        entry.lineNumber = line_no;
+        entry.spec = defaults;
+        entry.spec.asmCode.clear();
+        entry.spec.code.clear();
+
+        auto fail = [&](const std::string &why) {
+            entry.error = RunError{RunError::Code::InvalidSpec,
+                                   "spec file line " +
+                                       std::to_string(line_no) + ": " +
+                                       why};
+        };
+
+        // A plain line is the benchmark body verbatim (the original
+        // spec-file format); options start with '-'.
+        if (line[0] != '-') {
+            entry.spec.asmCode = line;
+            entries.push_back(std::move(entry));
+            continue;
+        }
+
+        auto tokens = tokenizeSpecLine(line);
+        if (!tokens) {
+            fail("unterminated quote");
+            entries.push_back(std::move(entry));
+            continue;
+        }
+        for (std::size_t t = 0; t < tokens->size() && !entry.error;
+             ++t) {
+            const std::string &opt = (*tokens)[t];
+            auto value = [&]() -> std::optional<std::string> {
+                if (t + 1 >= tokens->size()) {
+                    fail("missing value for option " + opt);
+                    return std::nullopt;
+                }
+                return (*tokens)[++t];
+            };
+            auto count = [&](const std::string &v)
+                -> std::optional<std::uint64_t> {
+                auto parsed = parseInt(v);
+                if (!parsed || *parsed < 0) {
+                    fail("bad value '" + v + "' for option " + opt);
+                    return std::nullopt;
+                }
+                return static_cast<std::uint64_t>(*parsed);
+            };
+            try {
+                if (opt == "-asm") {
+                    if (auto v = value())
+                        entry.spec.asmCode = *v;
+                } else if (opt == "-asm_init") {
+                    if (auto v = value())
+                        entry.spec.asmInit = *v;
+                } else if (opt == "-unroll_count") {
+                    if (auto v = value())
+                        if (auto n = count(*v))
+                            entry.spec.unrollCount = *n;
+                } else if (opt == "-loop_count") {
+                    if (auto v = value())
+                        if (auto n = count(*v))
+                            entry.spec.loopCount = *n;
+                } else if (opt == "-n_measurements") {
+                    if (auto v = value())
+                        if (auto n = count(*v))
+                            entry.spec.nMeasurements =
+                                static_cast<unsigned>(*n);
+                } else if (opt == "-warm_up_count") {
+                    if (auto v = value())
+                        if (auto n = count(*v))
+                            entry.spec.warmUpCount =
+                                static_cast<unsigned>(*n);
+                } else if (opt == "-agg") {
+                    // parseAggregate fatal()s on unknown names; keep
+                    // that as a per-line error, not a process exit.
+                    if (auto v = value())
+                        entry.spec.agg = parseAggregate(*v);
+                } else if (opt == "-serialize") {
+                    if (auto v = value())
+                        entry.spec.serialize =
+                            core::parseSerializeMode(*v);
+                } else if (opt == "-basic_mode") {
+                    entry.spec.basicMode = true;
+                } else if (opt == "-no_mem") {
+                    entry.spec.noMem = true;
+                } else if (opt == "-aperf_mperf") {
+                    entry.spec.aperfMperf = true;
+                } else {
+                    fail("unknown option '" + opt + "'");
+                }
+            } catch (const FatalError &e) {
+                fail(e.what());
+            }
+        }
+        if (!entry.error && entry.spec.asmCode.empty())
+            fail("option line has no -asm body");
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
 
 std::string
 specCanonicalKey(const core::BenchmarkSpec &spec)
@@ -286,11 +447,8 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
     }
 
     std::size_t unique_count = uniqueIdx.size();
-    unsigned jobs = options.jobs;
-    if (jobs == 0)
-        jobs = std::max(1u, std::thread::hardware_concurrency());
-    jobs = static_cast<unsigned>(
-        std::min<std::size_t>(jobs, unique_count));
+    unsigned jobs = static_cast<unsigned>(std::min<std::size_t>(
+        options.resolvedJobs(), unique_count));
 
     CampaignResult campaign;
     campaign.report.jobs = jobs;

@@ -54,6 +54,12 @@ struct CampaignOptions
     /** Worker threads; 0 = std::thread::hardware_concurrency()
      *  (clamped to the number of unique specs). */
     unsigned jobs = 0;
+
+    /** The worker count jobs resolves to: itself if non-zero, else
+     *  hardware_concurrency(), never less than 1. runCampaign() uses
+     *  this (and additionally clamps to the unique-spec count), so a
+     *  zero never reaches the worker setup. */
+    unsigned resolvedJobs() const;
     /** Execute identical specs once and share the outcome. */
     bool dedup = true;
     /** Machine selection for the workers. The replica field is
@@ -114,6 +120,37 @@ struct CampaignResult
     std::vector<RunOutcome> outcomes;
     CampaignReport report;
 };
+
+/**
+ * One parsed spec-file line: either a ready BenchmarkSpec or a parse
+ * error. A malformed line (unknown option, bad aggregate name, ...)
+ * must not kill a whole campaign, so errors are per-entry data; the
+ * message carries the 1-based line number.
+ */
+struct SpecFileEntry
+{
+    std::size_t lineNumber = 0;
+    core::BenchmarkSpec spec;
+    /** Set iff the line failed to parse; spec is meaningless then. */
+    std::optional<RunError> error;
+};
+
+/**
+ * Parse spec-file text: one benchmark per line, '#' starts a comment,
+ * blank lines are skipped. A plain line is an -asm style benchmark
+ * body. A line starting with '-' is parsed as per-line options
+ * (double-quote aware), e.g.:
+ *
+ *     -asm "div RBX" -agg min -unroll_count 10
+ *
+ * supporting -asm, -asm_init, -unroll_count, -loop_count,
+ * -n_measurements, -warm_up_count, -agg, -serialize, -basic_mode,
+ * -no_mem, and -aperf_mperf. Each line's spec starts from
+ * @p defaults. Never throws for line-level problems: malformed lines
+ * come back as entries with error set, in position.
+ */
+std::vector<SpecFileEntry> parseSpecLines(
+    const std::string &text, const core::BenchmarkSpec &defaults);
 
 /**
  * Canonical text key of a spec: two specs compare equal (for campaign

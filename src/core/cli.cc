@@ -15,7 +15,9 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -23,6 +25,7 @@
 #include "core/campaign.hh"
 #include "core/engine.hh"
 #include "uarch/uarch.hh"
+#include "uops/table.hh"
 #include "x86/encoding.hh"
 
 namespace
@@ -49,8 +52,21 @@ printUsage()
         "  -asm_init <code>     initialization code (not measured)\n"
         "  -code <file>         benchmark body from an encoded binary\n"
         "  -spec_file <file>    queue one -asm style benchmark per line\n"
+        "                       (a line starting with '-' carries\n"
+        "                       per-line options, e.g. -asm \"..\" -agg\n"
+        "                       min; malformed lines report their line\n"
+        "                       number as per-spec errors)\n"
         "  -jobs <n>            campaign worker threads (default 1;\n"
         "                       0 = one per hardware thread)\n"
+        "  -characterize        characterize the full instruction-\n"
+        "                       variant catalog (§V, uops.info-style)\n"
+        "                       through the campaign executor and print\n"
+        "                       the table\n"
+        "  -table <file>        with -characterize: also write the\n"
+        "                       table there (JSON, or CSV with -csv);\n"
+        "                       alone: load and print a table file\n"
+        "  -table_diff <a> <b>  diff two table files (exit 1 when rows\n"
+        "                       changed)\n"
         "  -no_dedup            run duplicate specs instead of sharing\n"
         "                       one cached result\n"
         "  -report <file>       write the campaign report (JSON, or CSV\n"
@@ -110,8 +126,12 @@ main(int argc, char **argv)
     unsigned jobs = 1;
     bool dedup = true;
     bool show_progress = false;
+    bool characterize = false;
     std::string spec_file;
     std::string report_path;
+    std::string table_path;
+    std::string diff_path_a;
+    std::string diff_path_b;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -137,6 +157,20 @@ main(int argc, char **argv)
                 spec_file = next();
             } else if (arg == "-jobs") {
                 jobs = static_cast<unsigned>(parseCount(arg, next()));
+                // 0 means one worker per hardware thread; resolve (and
+                // clamp to >= 1) here so an unclamped zero never
+                // reaches the worker setup.
+                if (jobs == 0) {
+                    jobs = std::max(
+                        1u, std::thread::hardware_concurrency());
+                }
+            } else if (arg == "-characterize") {
+                characterize = true;
+            } else if (arg == "-table") {
+                table_path = next();
+            } else if (arg == "-table_diff") {
+                diff_path_a = next();
+                diff_path_b = next();
             } else if (arg == "-no_dedup") {
                 dedup = false;
             } else if (arg == "-report") {
@@ -190,30 +224,100 @@ main(int argc, char **argv)
             }
         }
 
-        // A spec file queues one -asm style benchmark per line ('#'
-        // starts a comment; blank lines are skipped), after any
-        // explicit -asm/-code options.
-        if (!spec_file.empty()) {
-            std::ifstream in(spec_file);
-            if (!in)
-                fatal("cannot open spec file '", spec_file, "'");
-            std::string line;
-            while (std::getline(in, line)) {
-                std::string body = trim(line);
-                if (body.empty() || body[0] == '#')
-                    continue;
-                BenchmarkSpec spec;
-                spec.asmCode = body;
-                queued.push_back(spec);
-            }
-        }
+        // ------------- instruction-table verbs (§V) -------------
 
-        if (queued.empty()) {
-            printUsage();
+        if (!diff_path_a.empty()) {
+            auto before = uops::InstructionTable::load(diff_path_a);
+            auto after = uops::InstructionTable::load(diff_path_b);
+            auto diff = uops::diffTables(before, after);
+            if (diff.empty()) {
+                std::cout << "tables match (" << before.rows.size()
+                          << " rows)\n";
+                return 0;
+            }
+            std::cout << diff.format();
+            std::cout << diff.entries.size() << " row(s) differ\n";
             return 1;
         }
 
-        // Merge the shared parameters into each queued body.
+        if (!table_path.empty() && !characterize) {
+            auto table = uops::InstructionTable::load(table_path);
+            switch (format) {
+              case OutputFormat::Text:
+                std::cout << table.format();
+                break;
+              case OutputFormat::Json:
+                std::cout << table.toJson();
+                break;
+              case OutputFormat::Csv:
+                std::cout << table.toCsv();
+                break;
+            }
+            return 0;
+        }
+
+        if (characterize) {
+            // Open the output files up front: an unwritable path must
+            // fail before the full-catalog campaign, not after.
+            std::ofstream table_out;
+            if (!table_path.empty()) {
+                table_out.open(table_path);
+                if (!table_out)
+                    fatal("cannot write table file '", table_path, "'");
+            }
+            std::ofstream report_out;
+            if (!report_path.empty() && report_path != "-") {
+                report_out.open(report_path);
+                if (!report_out)
+                    fatal("cannot write report file '", report_path,
+                          "'");
+            }
+            uops::TableBuildOptions table_opt;
+            table_opt.session = session_opt;
+            table_opt.jobs = jobs;
+            table_opt.dedup = dedup;
+            if (show_progress) {
+                table_opt.progress = [](std::size_t done,
+                                        std::size_t total) {
+                    std::cerr << "\rcharacterize: " << done << "/"
+                              << total << (done == total ? "\n" : "");
+                };
+            }
+            Engine engine;
+            auto build = uops::buildInstructionTable(engine, table_opt);
+            switch (format) {
+              case OutputFormat::Text:
+                std::cout << build.table.format();
+                break;
+              case OutputFormat::Json:
+                std::cout << build.table.toJson();
+                break;
+              case OutputFormat::Csv:
+                std::cout << build.table.toCsv();
+                break;
+            }
+            if (!table_path.empty()) {
+                table_out << (format == OutputFormat::Csv
+                                  ? build.table.toCsv()
+                                  : build.table.toJson());
+            }
+            if (!report_path.empty()) {
+                std::string text = format == OutputFormat::Csv
+                                       ? build.report.toCsv()
+                                       : build.report.toJson();
+                if (report_path == "-")
+                    std::cerr << text;
+                else
+                    report_out << text;
+            }
+            return build.table.errorCount() != 0 ? 1 : 0;
+        }
+
+        // ------------------- benchmark queue --------------------
+
+        // Merge the shared parameters into each explicitly queued
+        // body; spec-file entries below start from the same defaults
+        // and may override them per line.
         for (auto &spec : queued) {
             auto body = std::move(spec.asmCode);
             auto code = std::move(spec.code);
@@ -222,8 +326,36 @@ main(int argc, char **argv)
             spec.code = std::move(code);
         }
 
+        // One slot per benchmark, in order. Slots from malformed
+        // spec-file lines carry a preset error (reported in position,
+        // with the line number) instead of anything to run.
+        std::vector<std::optional<RunError>> preset(queued.size());
+        if (!spec_file.empty()) {
+            std::ifstream in(spec_file);
+            if (!in)
+                fatal("cannot open spec file '", spec_file, "'");
+            std::string text{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+            for (auto &entry : parseSpecLines(text, shared)) {
+                preset.push_back(entry.error);
+                queued.push_back(std::move(entry.spec));
+            }
+        }
+
+        if (queued.empty()) {
+            printUsage();
+            return 1;
+        }
+
+        std::vector<BenchmarkSpec> runnable;
+        runnable.reserve(queued.size());
+        for (std::size_t i = 0; i < queued.size(); ++i) {
+            if (!preset[i])
+                runnable.push_back(queued[i]);
+        }
+
         Engine engine;
-        std::vector<RunOutcome> outcomes;
+        std::vector<RunOutcome> ran;
         // The single-session batch path stays the default; campaigns
         // (worker pool, dedup cache, report) kick in as soon as any
         // campaign option is used.
@@ -250,8 +382,8 @@ main(int argc, char **argv)
                               << (done == total ? "\n" : "");
                 };
             }
-            auto campaign = engine.runCampaign(queued, campaign_opt);
-            outcomes = std::move(campaign.outcomes);
+            auto campaign = engine.runCampaign(runnable, campaign_opt);
+            ran = std::move(campaign.outcomes);
             if (!report_path.empty()) {
                 std::string text = format == OutputFormat::Csv
                                        ? campaign.report.toCsv()
@@ -263,7 +395,19 @@ main(int argc, char **argv)
             }
         } else {
             Session session = engine.session(session_opt);
-            outcomes = session.runBatch(queued);
+            ran = session.runBatch(runnable);
+        }
+
+        // Fold the executed outcomes back into slot order around the
+        // preset spec-file parse errors.
+        std::vector<RunOutcome> outcomes;
+        outcomes.reserve(queued.size());
+        std::size_t next_ran = 0;
+        for (std::size_t i = 0; i < queued.size(); ++i) {
+            if (preset[i])
+                outcomes.push_back(RunOutcome(*preset[i]));
+            else
+                outcomes.push_back(std::move(ran[next_ran++]));
         }
 
         // -json always prints ONE parseable document: a bare object

@@ -72,49 +72,56 @@ RunOutcome::resultOrThrow() const
 // ----------------------------------------------------------- session --
 
 RunOutcome
-Session::run(const core::BenchmarkSpec &spec)
+runSpecOnRunner(core::Runner &runner, core::BenchmarkSpec spec)
 {
     // Failures below come back as RunError data; keep fatal()'s
     // courtesy stderr print quiet for them.
     ScopedFatalMessageSuppression suppress_fatal_prints;
 
-    core::BenchmarkSpec resolved = spec;
-
     // Assemble up front so syntax errors are classified separately
     // from execution failures (and reported without running anything).
-    if (resolved.code.empty()) {
-        if (resolved.asmCode.empty()) {
+    if (spec.code.empty()) {
+        if (spec.asmCode.empty()) {
             return RunError{RunError::Code::InvalidSpec,
                             "empty benchmark body"};
         }
         try {
-            resolved.code = x86::assemble(resolved.asmCode);
+            spec.code = x86::assemble(spec.asmCode);
         } catch (const FatalError &e) {
             return RunError{RunError::Code::AssemblyError, e.what()};
         }
     }
-    if (resolved.init.empty() && !resolved.asmInit.empty()) {
+    if (spec.init.empty() && !spec.asmInit.empty()) {
         try {
-            resolved.init = x86::assemble(resolved.asmInit);
+            spec.init = x86::assemble(spec.asmInit);
         } catch (const FatalError &e) {
             return RunError{RunError::Code::AssemblyError, e.what()};
         }
     }
 
-    if (resolved.aperfMperf && options_.mode != core::Mode::Kernel) {
-        return RunError{
-            RunError::Code::Unsupported,
-            "APERF/MPERF can only be read in kernel space (SII-A1)"};
+    // Parameter validation before any work: typed errors instead of a
+    // fatal() (or an assert) from deep inside the measurement loop.
+    if (auto issue = core::validateSpec(spec, runner.mode())) {
+        return RunError{issue->kind == core::SpecIssue::Kind::Invalid
+                            ? RunError::Code::InvalidSpec
+                            : RunError::Code::Unsupported,
+                        issue->message};
     }
-
-    if (resolved.config.empty())
-        resolved.config = options_.config;
 
     try {
-        return RunOutcome(lease_->runner->run(resolved));
+        return RunOutcome(runner.run(spec));
     } catch (const FatalError &e) {
         return RunError{RunError::Code::ExecutionError, e.what()};
     }
+}
+
+RunOutcome
+Session::run(const core::BenchmarkSpec &spec)
+{
+    core::BenchmarkSpec resolved = spec;
+    if (resolved.config.empty())
+        resolved.config = options_.config;
+    return runSpecOnRunner(*lease_->runner, std::move(resolved));
 }
 
 std::vector<RunOutcome>

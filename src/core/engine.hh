@@ -91,6 +91,19 @@ static_assert(static_cast<unsigned>(RunError::Code::ExecutionError) ==
 std::optional<RunError::Code> runErrorCodeFromName(
     const std::string &name);
 
+class RunOutcome;
+
+/**
+ * Run one spec on a bare Runner with Session::run() semantics:
+ * assembly problems, invalid parameters (validateSpec), and execution
+ * failures come back as RunError outcomes instead of unwinding. This
+ * is the shared classification path -- Session::run() delegates here,
+ * and tools holding a Runner directly (e.g. the characterizer) get
+ * identical error taxonomy without a Session.
+ */
+RunOutcome runSpecOnRunner(core::Runner &runner,
+                           core::BenchmarkSpec spec);
+
 /** Result of one Session::run(): a BenchmarkResult or a RunError. */
 class RunOutcome
 {

@@ -135,7 +135,8 @@ parseJsonLine(JsonCursor &cur)
     return line;
 }
 
-/** Split one CSV record honouring double-quote escaping. */
+} // namespace
+
 std::vector<std::string>
 splitCsvRecord(const std::string &line)
 {
@@ -166,7 +167,11 @@ splitCsvRecord(const std::string &line)
     return fields;
 }
 
-} // namespace
+std::string
+csvUnescape(const std::string &field)
+{
+    return unescapeNewlines(field);
+}
 
 std::optional<double>
 BenchmarkResult::find(const std::string &name) const

@@ -98,6 +98,14 @@ std::string jsonEscape(const std::string &s);
  *  commas or quotes are double-quoted. */
 std::string csvEscape(const std::string &raw);
 
+/** Split one CSV record into fields, honouring the double-quote
+ *  escaping csvEscape() produces (shared by the table reader). */
+std::vector<std::string> splitCsvRecord(const std::string &line);
+
+/** Undo csvEscape()'s backslash-escaping of newlines in a field
+ *  already unquoted by splitCsvRecord(). */
+std::string csvUnescape(const std::string &field);
+
 /** Format a double with enough digits to round-trip exactly. */
 std::string exactDouble(double v);
 

@@ -48,6 +48,27 @@ BenchmarkSpec::summary() const
     return os.str();
 }
 
+std::optional<SpecIssue>
+validateSpec(const BenchmarkSpec &spec, Mode mode)
+{
+    if (spec.nMeasurements == 0) {
+        return SpecIssue{SpecIssue::Kind::Invalid,
+                         "nMeasurements must be at least 1 (the "
+                         "aggregate of zero measurements is undefined)"};
+    }
+    if (spec.unrollCount == 0) {
+        return SpecIssue{SpecIssue::Kind::Invalid,
+                         "unrollCount must be at least 1 (zero unrolled "
+                         "copies measure nothing)"};
+    }
+    if (spec.aperfMperf && mode != Mode::Kernel) {
+        return SpecIssue{
+            SpecIssue::Kind::Unsupported,
+            "APERF/MPERF can only be read in kernel space (§II-A1)"};
+    }
+    return std::nullopt;
+}
+
 Runner::Runner(sim::Machine &machine, Mode mode)
     : machine_(machine), mode_(mode),
       alloc_(machine.memory(), &machine.rng(),
@@ -184,6 +205,11 @@ Runner::run(const BenchmarkSpec &spec)
         init = x86::assemble(spec.asmInit);
     if (body.empty())
         fatal("empty benchmark body");
+    // Reject unusable parameters up front: without this, an empty
+    // measurement set would trip (or, without asserts, overrun) the
+    // aggregate functions deep inside the measurement loop.
+    if (auto issue = validateSpec(spec, mode_))
+        fatal(issue->message);
 
     auto &pmu = machine_.pmu();
     BenchmarkResult result;
@@ -199,10 +225,7 @@ Runner::run(const BenchmarkSpec &spec)
             {ReadoutItem::Kind::FixedPmc, 2, "Reference cycles"});
     }
     if (spec.aperfMperf) {
-        if (mode_ != Mode::Kernel) {
-            fatal("APERF/MPERF can only be read in kernel space "
-                  "(§II-A1)");
-        }
+        // mode_ == Kernel here: validateSpec() rejected the rest.
         fixed_items.push_back(
             {ReadoutItem::Kind::Msr, sim::msr::kAperf, "APERF"});
         fixed_items.push_back(

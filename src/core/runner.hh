@@ -22,6 +22,7 @@
 #ifndef NB_CORE_RUNNER_HH
 #define NB_CORE_RUNNER_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,35 @@ struct BenchmarkSpec
      *  metadata). */
     std::string summary() const;
 };
+
+/** A structural problem with a BenchmarkSpec, found before running. */
+struct SpecIssue
+{
+    enum class Kind : std::uint8_t
+    {
+        /** The spec's parameters are unusable on any runner (e.g.
+         *  nMeasurements == 0: the aggregate of an empty measurement
+         *  set is undefined). */
+        Invalid,
+        /** The spec asks for a feature this runner's mode cannot
+         *  provide (e.g. APERF/MPERF in user mode, §II-A1). */
+        Unsupported,
+    };
+
+    Kind kind = Kind::Invalid;
+    std::string message;
+};
+
+/**
+ * Validate a spec's parameters against a runner mode. Returns the
+ * first problem found, or std::nullopt for a clean spec. Runner::run
+ * calls this and fatal()s on an issue (instead of tripping asserts or
+ * worse deep inside the measurement loop); Session::run calls it to
+ * produce typed RunErrors. Note the body is checked elsewhere (it may
+ * still be unassembled text here).
+ */
+std::optional<SpecIssue> validateSpec(const BenchmarkSpec &spec,
+                                      Mode mode);
 
 /** The benchmark runner; owns the memory-area setup for one machine. */
 class Runner

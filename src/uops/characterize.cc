@@ -7,9 +7,10 @@
 
 #include <iomanip>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/logging.hh"
-#include "core/engine.hh"
+#include "core/campaign.hh"
 #include "uarch/timing.hh"
 #include "x86/assembler.hh"
 
@@ -65,6 +66,9 @@ const std::vector<Reg> kVecPool = {
     Reg::XMM1, Reg::XMM2, Reg::XMM3, Reg::XMM4, Reg::XMM5,
     Reg::XMM6, Reg::XMM7, Reg::XMM8, Reg::XMM9, Reg::XMM10};
 
+/** Independent instances per throughput benchmark iteration. */
+constexpr unsigned kTputCopies = 10;
+
 bool
 isVecInsn(const Instruction &insn)
 {
@@ -73,6 +77,13 @@ isVecInsn(const Instruction &insn)
             return true;
     }
     return false;
+}
+
+/** Cycles line of a result: the fixed counter, or APERF (§II-A1). */
+std::optional<double>
+cyclesOf(const core::BenchmarkResult &result, bool has_fixed)
+{
+    return result.find(has_fixed ? "Core cycles" : "APERF");
 }
 
 } // namespace
@@ -112,6 +123,10 @@ VariantResult::tableRow() const
     os << std::left << std::setw(22) << asmText << std::right;
     if (requiresKernelMode) {
         os << "  (requires kernel mode)";
+        return os.str();
+    }
+    if (!ok()) {
+        os << "  (error: " << error << ")";
         return os.str();
     }
     if (latency) {
@@ -265,7 +280,6 @@ Characterizer::buildLatencyChain(const Instruction &insn) const
             op.reg = alt_reg;
         } else {
             op.reg = chain_reg;
-            op.reg = first ? chain_reg : chain_reg;
         }
         first = false;
     }
@@ -351,83 +365,195 @@ Characterizer::buildThroughputBench(const Instruction &insn,
     return spec;
 }
 
-VariantResult
-Characterizer::characterize(const Instruction &insn)
+CharacterizationPlan
+Characterizer::plan(const std::vector<Instruction> &variants) const
 {
-    VariantResult out;
-    out.signature = insn.formSignature();
-    out.asmText = insn.toString();
+    CharacterizationPlan out;
+    out.catalog = variants;
+    out.rows.resize(variants.size());
+    out.hasFixedCounters = runner_.machine().pmu().hasFixed();
+    out.numPorts =
+        std::min(runner_.machine().uarch().ports().numPorts, 8u);
 
-    if (insn.info().privileged &&
-        runner_.mode() != core::Mode::Kernel) {
-        // The key nanoBench capability (§III-D): only the kernel-space
-        // version can benchmark these at all.
-        out.requiresKernelMode = true;
-        return out;
-    }
-
-    // On CPUs without Intel-style fixed counters (AMD, §II-A1), core
-    // cycles come from the APERF MSR in kernel mode.
-    bool has_fixed = runner_.machine().pmu().hasFixed();
-    auto cycles_of = [&](const core::BenchmarkResult &result) {
-        return has_fixed ? result["Core cycles"] : result["APERF"];
-    };
-
-    // ---------------- latency ----------------
-    if (auto chain = buildLatencyChain(insn)) {
-        core::BenchmarkSpec spec;
-        spec.code = chain->body;
-        spec.init = chain->init;
-        spec.unrollCount = 50;
-        spec.nMeasurements = 5;
-        spec.warmUpCount = 2;
-        spec.agg = Aggregate::Median;
-        spec.aperfMperf = !has_fixed;
-        auto result = runner_.run(spec);
-        double cycles = cycles_of(result);
-        out.latency = (cycles - chain->overheadCycles) /
-                      chain->linksPerIteration;
-    }
-
-    // ---------------- throughput and ports ----------------
-    constexpr unsigned kCopies = 10;
-    auto tput = buildThroughputBench(insn, kCopies);
-    core::BenchmarkSpec spec;
-    spec.code = tput.body;
-    spec.init = tput.init;
-    spec.unrollCount = 20;
-    spec.nMeasurements = 5;
-    spec.warmUpCount = 3;
-    spec.agg = Aggregate::Median;
-    spec.aperfMperf = !has_fixed;
-
-    // Port-dispatch and µop events.
-    unsigned n_ports = runner_.machine().uarch().ports().numPorts;
-    for (unsigned p = 0; p < std::min(n_ports, 8u); ++p) {
+    // Port-dispatch and µop events, shared by every throughput spec.
+    core::CounterConfig tput_config;
+    for (unsigned p = 0; p < out.numPorts; ++p) {
         auto info = sim::findEvent("UOPS_DISPATCHED_PORT.PORT_" +
                                    std::to_string(p));
         NB_ASSERT(info.has_value(), "port event missing");
-        spec.config.add({info->code, info->id, info->name});
+        tput_config.add({info->code, info->id, info->name});
     }
     auto uops_info = sim::findEvent(std::string("UOPS_EXECUTED.THREAD"));
-    spec.config.add({uops_info->code, uops_info->id, uops_info->name});
+    tput_config.add({uops_info->code, uops_info->id, uops_info->name});
 
-    auto result = runner_.run(spec);
-    double denom = kCopies;
-    // DIV-style benchmarks carry 2 dependency-breaking extra
-    // instructions per copy; their µops/ports are subtracted below.
-    bool dep_broken = tput.body.size() == 3 * kCopies;
-    out.throughput = cycles_of(result) / denom;
-    out.uops = result["UOPS_EXECUTED.THREAD"] / denom -
-               (dep_broken ? 2.0 : 0.0);
-    for (unsigned p = 0; p < std::min(n_ports, 8u); ++p) {
-        double v = result["UOPS_DISPATCHED_PORT.PORT_" +
-                          std::to_string(p)] /
-                   denom;
-        if (v > 0.02)
-            out.portUsage[p] = v;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const Instruction &insn = variants[v];
+        VariantResult &row = out.rows[v];
+        row.signature = insn.formSignature();
+        row.asmText = insn.toString();
+
+        if (insn.info().privileged &&
+            runner_.mode() != core::Mode::Kernel) {
+            // The key nanoBench capability (§III-D): only the
+            // kernel-space version can benchmark these at all.
+            row.requiresKernelMode = true;
+            continue;
+        }
+
+        // ---------------- latency ----------------
+        if (auto chain = buildLatencyChain(insn)) {
+            PlannedSpec planned;
+            planned.spec.code = chain->body;
+            planned.spec.init = chain->init;
+            planned.spec.unrollCount = 50;
+            planned.spec.nMeasurements = 5;
+            planned.spec.warmUpCount = 2;
+            planned.spec.agg = Aggregate::Median;
+            planned.spec.aperfMperf = !out.hasFixedCounters;
+            planned.role = PlannedSpec::Role::Latency;
+            planned.variant = v;
+            planned.overheadCycles = chain->overheadCycles;
+            planned.linksPerIteration = chain->linksPerIteration;
+            out.specs.push_back(std::move(planned));
+        }
+
+        // ---------------- throughput and ports ----------------
+        auto tput = buildThroughputBench(insn, kTputCopies);
+        PlannedSpec planned;
+        planned.spec.code = tput.body;
+        planned.spec.init = tput.init;
+        planned.spec.unrollCount = 20;
+        planned.spec.nMeasurements = 5;
+        planned.spec.warmUpCount = 3;
+        planned.spec.agg = Aggregate::Median;
+        planned.spec.aperfMperf = !out.hasFixedCounters;
+        planned.spec.config = tput_config;
+        planned.variant = v;
+        planned.copies = kTputCopies;
+        // DIV-style benchmarks carry 2 dependency-breaking extra
+        // instructions per copy; decode() subtracts their µops/ports.
+        planned.depBroken = tput.body.size() == 3 * kTputCopies;
+
+        // The throughput and port decoders read the SAME benchmark --
+        // emit the spec twice with different roles and let campaign
+        // dedup execute it once.
+        planned.role = PlannedSpec::Role::Throughput;
+        out.specs.push_back(planned);
+        planned.role = PlannedSpec::Role::Ports;
+        out.specs.push_back(std::move(planned));
     }
     return out;
+}
+
+CharacterizationPlan
+Characterizer::plan() const
+{
+    return plan(variantCatalog());
+}
+
+std::vector<core::BenchmarkSpec>
+Characterizer::planSpecs(const CharacterizationPlan &plan)
+{
+    std::vector<core::BenchmarkSpec> specs;
+    specs.reserve(plan.specs.size());
+    for (const auto &planned : plan.specs)
+        specs.push_back(planned.spec);
+    return specs;
+}
+
+std::vector<VariantResult>
+Characterizer::decode(const CharacterizationPlan &plan,
+                      const std::vector<RunOutcome> &outcomes)
+{
+    NB_ASSERT(outcomes.size() == plan.specs.size(),
+              "decode: got ", outcomes.size(), " outcomes for ",
+              plan.specs.size(), " planned specs");
+
+    std::vector<VariantResult> rows = plan.rows;
+    auto mark_error = [](VariantResult &row, const RunError &error) {
+        if (row.ok()) {
+            row.error = std::string(runErrorCodeName(error.code)) +
+                        ": " + error.message;
+        }
+    };
+
+    for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+        const PlannedSpec &planned = plan.specs[i];
+        VariantResult &row = rows[planned.variant];
+        const RunOutcome &outcome = outcomes[i];
+
+        if (planned.role == PlannedSpec::Role::Latency) {
+            // A failed chain only loses the latency column.
+            if (!outcome.ok())
+                continue;
+            auto cycles = cyclesOf(outcome.result(),
+                                   plan.hasFixedCounters);
+            if (cycles) {
+                row.latency = (*cycles - planned.overheadCycles) /
+                              planned.linksPerIteration;
+            }
+            continue;
+        }
+
+        if (!outcome.ok()) {
+            mark_error(row, outcome.error());
+            continue;
+        }
+        const core::BenchmarkResult &result = outcome.result();
+        double denom = planned.copies;
+
+        if (planned.role == PlannedSpec::Role::Throughput) {
+            auto cycles = cyclesOf(result, plan.hasFixedCounters);
+            auto uops = result.find("UOPS_EXECUTED.THREAD");
+            if (!cycles || !uops) {
+                mark_error(row,
+                           {RunError::Code::ExecutionError,
+                            "cycle/µop counters missing from result"});
+                continue;
+            }
+            row.throughput = *cycles / denom;
+            row.uops = *uops / denom - (planned.depBroken ? 2.0 : 0.0);
+        } else { // Role::Ports
+            for (unsigned p = 0; p < plan.numPorts; ++p) {
+                auto usage =
+                    result.find("UOPS_DISPATCHED_PORT.PORT_" +
+                                std::to_string(p));
+                if (!usage)
+                    continue;
+                double v = *usage / denom;
+                if (v > 0.02)
+                    row.portUsage[p] = v;
+            }
+        }
+    }
+    return rows;
+}
+
+std::vector<RunOutcome>
+Characterizer::runPlan(const CharacterizationPlan &plan)
+{
+    // Serial equivalent of the campaign path, including its dedup:
+    // the throughput/port decoder pair shares one spec per variant,
+    // which must execute once here too.
+    std::unordered_map<std::string, std::size_t> seen;
+    std::vector<RunOutcome> outcomes;
+    outcomes.reserve(plan.specs.size());
+    for (const auto &planned : plan.specs) {
+        auto [it, inserted] = seen.emplace(
+            specCanonicalKey(planned.spec), outcomes.size());
+        if (inserted)
+            outcomes.push_back(runSpecOnRunner(runner_, planned.spec));
+        else
+            outcomes.push_back(outcomes[it->second]);
+    }
+    return outcomes;
+}
+
+VariantResult
+Characterizer::characterize(const Instruction &insn)
+{
+    auto one = plan(std::vector<Instruction>{insn});
+    return decode(one, runPlan(one))[0];
 }
 
 std::vector<Instruction>
@@ -557,10 +683,8 @@ Characterizer::variantCatalog() const
 std::vector<VariantResult>
 Characterizer::characterizeAll()
 {
-    std::vector<VariantResult> results;
-    for (const auto &insn : variantCatalog())
-        results.push_back(characterize(insn));
-    return results;
+    auto whole = plan();
+    return decode(whole, runPlan(whole));
 }
 
 } // namespace nb::uops

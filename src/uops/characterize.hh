@@ -13,9 +13,23 @@
  *  - port usage: the throughput benchmark evaluated with the
  *    UOPS_DISPATCHED_PORT.* events.
  *
- * The benchmarks are evaluated with nanoBench; the kernel-space runner
- * allows characterizing privileged instructions (RDMSR, WBINVD, CLI,
- * ...), which no previous tool could do (§V).
+ * The work is organized as a plan/decode split so full-catalog
+ * characterization can ride the parallel campaign executor:
+ *
+ *  1. plan() walks the variant catalog and emits plain BenchmarkSpecs,
+ *     each tagged with a decoder (PlannedSpec) describing how to fold
+ *     its BenchmarkResult back into a VariantResult;
+ *  2. the specs run anywhere -- a single Session, or fanned out via
+ *     Engine::runCampaign() (the throughput and port decoders share
+ *     one spec per variant, so campaign dedup executes it once);
+ *  3. decode() assembles VariantResults in catalog order, tolerating
+ *     per-spec RunErrors: a failed latency chain downgrades latency
+ *     to nullopt, a failed throughput/port benchmark marks the
+ *     variant errored -- the catalog never aborts.
+ *
+ * The kernel-space runner allows characterizing privileged
+ * instructions (RDMSR, WBINVD, CLI, ...), which no previous tool
+ * could do (§V).
  */
 
 #ifndef NB_UOPS_CHARACTERIZE_HH
@@ -26,12 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hh"
 #include "core/runner.hh"
-
-namespace nb
-{
-class Session;
-}
 
 namespace nb::uops
 {
@@ -41,7 +51,8 @@ struct VariantResult
 {
     std::string signature;   ///< e.g. "ADD_R64_R64"
     std::string asmText;     ///< example instance
-    /** Chain latency in cycles; nullopt if no chain can be built. */
+    /** Chain latency in cycles; nullopt if no chain can be built (or
+     *  the chain benchmark failed). */
     std::optional<double> latency;
     /** Reciprocal throughput in cycles per instruction. */
     double throughput = 0.0;
@@ -51,11 +62,63 @@ struct VariantResult
     std::map<unsigned, double> portUsage;
     /** Set if the variant needs kernel mode but the runner is user. */
     bool requiresKernelMode = false;
+    /** Non-empty if the variant's throughput/port benchmark failed;
+     *  the other fields are unreliable then. */
+    std::string error;
+
+    /** True unless the throughput/port benchmark failed. */
+    bool ok() const { return error.empty(); }
 
     /** Compact port string, e.g. "p2:0.50 p3:0.50". */
     std::string portString() const;
     /** One table row. */
     std::string tableRow() const;
+};
+
+/**
+ * One planned benchmark plus the decoder that folds its result back
+ * into a VariantResult. Plain data: the spec can run on any session
+ * or go through a campaign.
+ */
+struct PlannedSpec
+{
+    enum class Role : std::uint8_t
+    {
+        /** Decode chain cycles into VariantResult::latency. */
+        Latency,
+        /** Decode cycles/µops into throughput and uops. */
+        Throughput,
+        /** Decode UOPS_DISPATCHED_PORT.* into portUsage. */
+        Ports,
+    };
+
+    core::BenchmarkSpec spec;
+    Role role = Role::Throughput;
+    /** Index into CharacterizationPlan::rows this spec folds into. */
+    std::size_t variant = 0;
+    /** Latency decode: auxiliary chain cycles and links per body. */
+    double overheadCycles = 0.0;
+    unsigned linksPerIteration = 1;
+    /** Throughput/ports decode: independent copies per iteration and
+     *  whether dependency-breaking instructions inflate the counts. */
+    unsigned copies = 1;
+    bool depBroken = false;
+};
+
+/** A full characterization work list, ready for a campaign. */
+struct CharacterizationPlan
+{
+    /** The instruction variants, in catalog order. */
+    std::vector<x86::Instruction> catalog;
+    /** Partially-filled rows (signature, asm text, kernel-mode flag),
+     *  one per catalog entry; decode() completes them. */
+    std::vector<VariantResult> rows;
+    /** The benchmarks to execute, with their decoders. */
+    std::vector<PlannedSpec> specs;
+    /** Whether cycles come from the fixed counter or APERF (§II-A1). */
+    bool hasFixedCounters = true;
+    /** Ports modelled by the planning machine's microarchitecture. */
+    unsigned numPorts = 0;
 };
 
 /** The characterization tool bound to one runner. */
@@ -68,14 +131,41 @@ class Characterizer
      *  machine must outlive this tool. */
     explicit Characterizer(Session &session);
 
-    /** Characterize a single variant. */
+    /** Plan benchmarks for the given variants. */
+    CharacterizationPlan plan(
+        const std::vector<x86::Instruction> &variants) const;
+
+    /** Plan the whole variant catalog. */
+    CharacterizationPlan plan() const;
+
+    /**
+     * Fold campaign/batch outcomes back into rows, in catalog order.
+     * @p outcomes must have one entry per plan.specs element, in plan
+     * order (exactly what runCampaign()/runBatch() return for the
+     * extracted spec list). Failed outcomes degrade gracefully: a
+     * failed latency chain leaves latency unset, a failed
+     * throughput/port benchmark marks the variant errored.
+     */
+    static std::vector<VariantResult> decode(
+        const CharacterizationPlan &plan,
+        const std::vector<RunOutcome> &outcomes);
+
+    /** Benchmark specs of a plan, in plan order (campaign input). */
+    static std::vector<core::BenchmarkSpec> planSpecs(
+        const CharacterizationPlan &plan);
+
+    /** Characterize a single variant (plan + run + decode on this
+     *  tool's runner). */
     VariantResult characterize(const x86::Instruction &insn);
 
     /** All instruction variants of the modelled ISA, specialized for
      *  the runner's microarchitecture (unsupported opcodes omitted). */
     std::vector<x86::Instruction> variantCatalog() const;
 
-    /** Characterize the whole catalog. */
+    /** Characterize the whole catalog serially on this tool's runner.
+     *  (Parallel full-catalog runs: uops/table.hh
+     *  buildInstructionTable(), which ships the plan through
+     *  Engine::runCampaign().) */
     std::vector<VariantResult> characterizeAll();
 
     /** Table header matching VariantResult::tableRow(). */
@@ -100,6 +190,9 @@ class Characterizer
     /** Build the independent-instances throughput benchmark. */
     ChainSpec buildThroughputBench(const x86::Instruction &insn,
                                    unsigned copies) const;
+
+    /** Run every planned spec on this tool's runner, in plan order. */
+    std::vector<RunOutcome> runPlan(const CharacterizationPlan &plan);
 
     core::Runner &runner_;
 };

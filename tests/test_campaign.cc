@@ -158,6 +158,58 @@ TEST(Campaign, ErrorInTheMiddleDoesNotDisturbNeighbours)
               1u);
 }
 
+TEST(Campaign, InvalidSpecParametersBecomeTypedErrors)
+{
+    // Zero-measurement / zero-unroll specs used to crash the process
+    // from inside the aggregate functions; a campaign must instead
+    // report them per-spec and keep going.
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 2;
+    auto specs = countingSpecs(4);
+    specs[1].nMeasurements = 0;
+    specs[2].unrollCount = 0;
+    auto campaign = engine.runCampaign(specs, opt);
+
+    ASSERT_EQ(campaign.outcomes.size(), 4u);
+    EXPECT_TRUE(campaign.outcomes[0].ok());
+    ASSERT_FALSE(campaign.outcomes[1].ok());
+    EXPECT_EQ(campaign.outcomes[1].error().code,
+              RunError::Code::InvalidSpec);
+    ASSERT_FALSE(campaign.outcomes[2].ok());
+    EXPECT_EQ(campaign.outcomes[2].error().code,
+              RunError::Code::InvalidSpec);
+    EXPECT_TRUE(campaign.outcomes[3].ok());
+    EXPECT_EQ(campaign.report.errorHistogram[static_cast<unsigned>(
+                  RunError::Code::InvalidSpec)],
+              2u);
+}
+
+TEST(Campaign, UserModeAperfMperfIsUnsupported)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 2;
+    opt.session.mode = Mode::User;
+    auto specs = countingSpecs(3);
+    specs[1].aperfMperf = true;
+    auto campaign = engine.runCampaign(specs, opt);
+    ASSERT_FALSE(campaign.outcomes[1].ok());
+    EXPECT_EQ(campaign.outcomes[1].error().code,
+              RunError::Code::Unsupported);
+    EXPECT_TRUE(campaign.outcomes[0].ok());
+    EXPECT_TRUE(campaign.outcomes[2].ok());
+}
+
+TEST(Campaign, ResolvedJobsNeverReturnsZero)
+{
+    CampaignOptions opt;
+    opt.jobs = 0;
+    EXPECT_GE(opt.resolvedJobs(), 1u);
+    opt.jobs = 3;
+    EXPECT_EQ(opt.resolvedJobs(), 3u);
+}
+
 TEST(Campaign, UnknownUarchThrowsBeforeAnyWork)
 {
     Engine engine;
@@ -311,6 +363,94 @@ TEST(Campaign, ProgressSettlesEveryInputSpec)
     for (std::size_t i = 1; i < seen.size(); ++i)
         EXPECT_GT(seen[i], seen[i - 1]);
     EXPECT_EQ(seen.back(), 6u);
+}
+
+// --------------------------------------------------------- spec file --
+
+TEST(SpecFile, PlainLinesAndCommentsParse)
+{
+    core::BenchmarkSpec defaults;
+    defaults.asmInit = "mov [R14], R14";
+    defaults.unrollCount = 25;
+    auto entries = parseSpecLines("# header comment\n"
+                                  "add RAX, RAX\n"
+                                  "\n"
+                                  "mov R14, [R14]\n",
+                                  defaults);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].lineNumber, 2u);
+    EXPECT_FALSE(entries[0].error.has_value());
+    EXPECT_EQ(entries[0].spec.asmCode, "add RAX, RAX");
+    // Shared defaults are inherited (except the body itself).
+    EXPECT_EQ(entries[0].spec.asmInit, "mov [R14], R14");
+    EXPECT_EQ(entries[0].spec.unrollCount, 25u);
+    EXPECT_EQ(entries[1].lineNumber, 4u);
+    EXPECT_EQ(entries[1].spec.asmCode, "mov R14, [R14]");
+}
+
+TEST(SpecFile, PerLineOptionsOverrideDefaults)
+{
+    core::BenchmarkSpec defaults;
+    auto entries = parseSpecLines(
+        "-asm \"div RBX\" -agg min -unroll_count 10 -basic_mode\n",
+        defaults);
+    ASSERT_EQ(entries.size(), 1u);
+    ASSERT_FALSE(entries[0].error.has_value());
+    EXPECT_EQ(entries[0].spec.asmCode, "div RBX");
+    EXPECT_EQ(entries[0].spec.agg, Aggregate::Minimum);
+    EXPECT_EQ(entries[0].spec.unrollCount, 10u);
+    EXPECT_TRUE(entries[0].spec.basicMode);
+}
+
+TEST(SpecFile, MalformedLinesAreErrorsWithLineNumbers)
+{
+    core::BenchmarkSpec defaults;
+    // A bad -agg name hits parseAggregate's fatal(); it must come
+    // back as a per-line error naming the line, not kill the process.
+    auto entries = parseSpecLines("nop\n"
+                                  "-asm \"nop\" -agg bogus\n"
+                                  "-asm \"nop\" -frobnicate\n"
+                                  "-asm \"nop\" -unroll_count\n"
+                                  "-agg min\n"
+                                  "-asm \"unterminated\n",
+                                  defaults);
+    ASSERT_EQ(entries.size(), 6u);
+    EXPECT_FALSE(entries[0].error.has_value());
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        ASSERT_TRUE(entries[i].error.has_value()) << i;
+        EXPECT_EQ(entries[i].error->code, RunError::Code::InvalidSpec)
+            << i;
+        EXPECT_NE(entries[i].error->message.find(
+                      "line " + std::to_string(i + 1)),
+                  std::string::npos)
+            << entries[i].error->message;
+    }
+    EXPECT_NE(entries[1].error->message.find("bogus"),
+              std::string::npos);
+    EXPECT_NE(entries[2].error->message.find("-frobnicate"),
+              std::string::npos);
+    EXPECT_NE(entries[4].error->message.find("no -asm body"),
+              std::string::npos);
+}
+
+TEST(SpecFile, ParsedSpecsRunAsACampaign)
+{
+    core::BenchmarkSpec defaults;
+    auto entries = parseSpecLines("nop\n"
+                                  "-asm \"nop; nop\" -agg min\n",
+                                  defaults);
+    std::vector<core::BenchmarkSpec> specs;
+    for (const auto &entry : entries)
+        specs.push_back(entry.spec);
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 2;
+    auto campaign = engine.runCampaign(specs, opt);
+    ASSERT_EQ(campaign.outcomes.size(), 2u);
+    EXPECT_TRUE(campaign.outcomes[0].ok());
+    ASSERT_TRUE(campaign.outcomes[1].ok());
+    EXPECT_NEAR(campaign.outcomes[1].result()["Instructions retired"],
+                2.0, 0.05);
 }
 
 // ------------------------------------------------------------ report --

@@ -111,6 +111,29 @@ TEST(Stats, TrimmedMeanKeepsAtLeastOne)
     EXPECT_DOUBLE_EQ(trimmedMean({1.0, 3.0}), 2.0);
 }
 
+TEST(Stats, TrimmedMeanSmallVectorsEqualPlainMean)
+{
+    // With n <= 4 a 20% trim rounds down to cutting nothing: the
+    // trimmed mean must degrade to the plain mean, not misindex.
+    EXPECT_DOUBLE_EQ(trimmedMean({7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(trimmedMean({1.0, 2.0, 6.0}), 3.0);
+    EXPECT_DOUBLE_EQ(trimmedMean({1.0, 2.0, 3.0, 6.0}), 3.0);
+    // n == 5 is the first size that actually trims (one per end).
+    EXPECT_DOUBLE_EQ(trimmedMean({-100.0, 2.0, 3.0, 4.0, 100.0}), 3.0);
+}
+
+TEST(Stats, RunningStatsSingleValue)
+{
+    RunningStats rs;
+    rs.add(3.25);
+    EXPECT_EQ(rs.count(), 1u);
+    EXPECT_DOUBLE_EQ(rs.min(), 3.25);
+    EXPECT_DOUBLE_EQ(rs.max(), 3.25);
+    EXPECT_DOUBLE_EQ(rs.mean(), 3.25);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
 TEST(Stats, MeanAndStddev)
 {
     std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};

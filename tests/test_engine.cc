@@ -9,6 +9,7 @@
 
 #include "core/engine.hh"
 #include "core/nanobench.hh"
+#include "x86/assembler.hh"
 
 namespace nb
 {
@@ -203,6 +204,84 @@ TEST(Session, AperfMperfInUserModeIsUnsupported)
     auto outcome = session.run(spec);
     ASSERT_FALSE(outcome.ok());
     EXPECT_EQ(outcome.error().code, RunError::Code::Unsupported);
+}
+
+TEST(Session, ZeroMeasurementsIsInvalidSpec)
+{
+    // Without up-front validation this crashed in applyAggregate's
+    // empty-vector handling deep inside the measurement loop.
+    Engine engine;
+    Session session = engine.session({});
+    BenchmarkSpec spec;
+    spec.asmCode = "nop";
+    spec.nMeasurements = 0;
+    auto outcome = session.run(spec);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code, RunError::Code::InvalidSpec);
+    EXPECT_NE(outcome.error().message.find("nMeasurements"),
+              std::string::npos);
+}
+
+TEST(Session, ZeroUnrollCountIsInvalidSpec)
+{
+    // Programmatic specs bypass the CLI's clamp; the engine must
+    // still reject them as data, not crash.
+    Engine engine;
+    Session session = engine.session({});
+    BenchmarkSpec spec;
+    spec.asmCode = "nop";
+    spec.unrollCount = 0;
+    auto outcome = session.run(spec);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code, RunError::Code::InvalidSpec);
+}
+
+TEST(Runner, InvalidSpecParametersAreFatalNotPanic)
+{
+    // A direct Runner::run must also reject invalid parameters up
+    // front, as a user-level FatalError (not an internal-invariant
+    // PanicError from the aggregate functions).
+    Engine engine;
+    Session session = engine.session({});
+    BenchmarkSpec spec;
+    spec.asmCode = "nop";
+    spec.code = x86::assemble(spec.asmCode);
+    spec.nMeasurements = 0;
+    EXPECT_THROW(session.runner().run(spec), FatalError);
+    spec.nMeasurements = 10;
+    spec.unrollCount = 0;
+    EXPECT_THROW(session.runner().run(spec), FatalError);
+}
+
+TEST(Runner, UserModeAperfMperfIsFatalUpFront)
+{
+    Engine engine;
+    SessionOptions opt;
+    opt.mode = Mode::User;
+    Session session = engine.session(opt);
+    BenchmarkSpec spec;
+    spec.code = x86::assemble("nop");
+    spec.aperfMperf = true;
+    EXPECT_THROW(session.runner().run(spec), FatalError);
+}
+
+TEST(Session, ValidateSpecClassifiesKinds)
+{
+    BenchmarkSpec spec;
+    spec.asmCode = "nop";
+    EXPECT_FALSE(core::validateSpec(spec, Mode::User).has_value());
+
+    spec.nMeasurements = 0;
+    auto issue = core::validateSpec(spec, Mode::Kernel);
+    ASSERT_TRUE(issue.has_value());
+    EXPECT_EQ(issue->kind, core::SpecIssue::Kind::Invalid);
+
+    spec.nMeasurements = 10;
+    spec.aperfMperf = true;
+    issue = core::validateSpec(spec, Mode::User);
+    ASSERT_TRUE(issue.has_value());
+    EXPECT_EQ(issue->kind, core::SpecIssue::Kind::Unsupported);
+    EXPECT_FALSE(core::validateSpec(spec, Mode::Kernel).has_value());
 }
 
 TEST(Session, RunErrorCodeNames)

@@ -2,7 +2,7 @@
 """Bench-regression gate for CI.
 
 Merges one or more google-benchmark JSON outputs (bench_simperf,
-bench_campaign) into a single BENCH_ci.json artifact and compares
+bench_campaign, bench_table) into a single BENCH_ci.json artifact and compares
 machine-independent RATIOS between benchmarks against a committed
 baseline (bench/BENCH_baseline.json). Ratios, not absolute times, so
 the check is robust to runner speed; a ratio more than `tolerance`
@@ -18,10 +18,18 @@ Checked ratios:
                           worker pool stops scaling)
   dedup_vs_nodedup        BM_CampaignDedup/dedup:1 / dedup:0
                           (the spec-level result cache)
+  table_jobs4_vs_serial   BM_TableCampaign/4 / BM_TableSerial
+                          (full-catalog characterization through the
+                          campaign executor vs the serial
+                          characterizer; regresses if the table
+                          workload stops scaling)
+  table_dedup_vs_nodedup  BM_TableCampaign/1 / BM_TableNoDedup
+                          (the shared throughput/port specs executing
+                          once instead of twice)
 
 Usage:
   check_bench.py --baseline bench/BENCH_baseline.json \
-      --out BENCH_ci.json simperf.json campaign.json
+      --out BENCH_ci.json simperf.json campaign.json table.json
 """
 
 import argparse
@@ -35,6 +43,8 @@ RATIOS = {
     "pooled_setup_ratio": ("BM_SessionSetupPooled", "BM_SessionSetupCold"),
     "campaign_jobs4_vs_serial": ("BM_CampaignJobs/4", "BM_CampaignSerialBatch"),
     "dedup_vs_nodedup": ("BM_CampaignDedup/dedup:1", "BM_CampaignDedup/dedup:0"),
+    "table_jobs4_vs_serial": ("BM_TableCampaign/4", "BM_TableSerial"),
+    "table_dedup_vs_nodedup": ("BM_TableCampaign/1", "BM_TableNoDedup"),
 }
 
 
