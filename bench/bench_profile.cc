@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Google-benchmark measurements of machine-profile construction (§VI):
+ * the serial path (one runner, every planned spec in plan order) vs
+ * the campaign-backed builder at several worker counts, plus the
+ * serialization round-trip. The CI bench-regression job compares the
+ * parallel-vs-serial ratio against a committed baseline; see
+ * tools/check_bench.py.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "profile/build.hh"
+
+namespace
+{
+
+using namespace nb;
+
+/** Reduced sizing so one build is bench-sized (~100 specs). */
+profile::ProfileOptions
+benchOptions()
+{
+    profile::ProfileOptions opt;
+    opt.maxAssoc = 12;
+    opt.policySequences = 8;
+    opt.tlbMaxPages = 256;
+    opt.duelingScan = false;
+    return opt;
+}
+
+void
+BM_ProfileSerial(benchmark::State &state)
+{
+    // The pre-campaign way: plan once, run every spec in order on one
+    // machine prepared like a worker.
+    setQuiet(true);
+    profile::ProfilePlan plan =
+        profile::planMachineProfile(benchOptions());
+    for (auto _ : state) {
+        sim::Machine machine(uarch::getMicroArch(plan.uarch),
+                             plan.seed);
+        core::Runner runner(machine, plan.mode);
+        profile::prepareProfileMachine(runner, plan);
+        std::vector<RunOutcome> outcomes;
+        outcomes.reserve(plan.specs.size());
+        for (const auto &spec : plan.specs)
+            outcomes.push_back(runSpecOnRunner(runner, spec));
+        auto profile = profile::decodeMachineProfile(plan, outcomes);
+        benchmark::DoNotOptimize(profile.levels.size());
+    }
+    state.counters["specs"] = static_cast<double>(plan.specs.size());
+}
+BENCHMARK(BM_ProfileSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_ProfileCampaign(benchmark::State &state)
+{
+    setQuiet(true);
+    Engine engine;
+    profile::ProfileOptions opt = benchOptions();
+    opt.jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        auto build = profile::buildMachineProfile(engine, opt);
+        benchmark::DoNotOptimize(build.profile.levels.size());
+    }
+}
+BENCHMARK(BM_ProfileCampaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ProfileSerialization(benchmark::State &state)
+{
+    setQuiet(true);
+    Engine engine;
+    profile::ProfileOptions opt = benchOptions();
+    opt.jobs = 2;
+    auto build = profile::buildMachineProfile(engine, opt);
+    for (auto _ : state) {
+        auto json = build.profile.toJson();
+        auto parsed = profile::MachineProfile::fromJson(json);
+        auto csv = parsed.toCsv();
+        auto back = profile::MachineProfile::fromCsv(csv);
+        benchmark::DoNotOptimize(back.levels.size());
+    }
+}
+BENCHMARK(BM_ProfileSerialization)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

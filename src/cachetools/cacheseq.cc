@@ -119,7 +119,11 @@ CacheSeq::setupAddressSpace()
     Addr needed = candidateStride_ * 320 *
                   (opt_.level == CacheLevel::L3 ? slices + 1 : 1);
     needed = std::max<Addr>(needed, 8 * 1024 * 1024);
-    if (!runner_.reserveR14Area(needed))
+    // Keep an already-reserved area that is big enough: re-reserving
+    // would move the base, invalidating addresses other tools planned
+    // against the same runner (the profile builder relies on one
+    // stable reservation shared by all its tools).
+    if (runner_.r14AreaSize() < needed && !runner_.reserveR14Area(needed))
         fatal("cannot reserve a physically-contiguous area of ", needed,
               " bytes; reboot the (simulated) machine (§IV-D)");
     areaVirt_ = runner_.r14Area();
@@ -312,11 +316,57 @@ CacheSeq::buildBody(const std::vector<SeqAccess> &seq)
     return body;
 }
 
-HitMiss
-CacheSeq::runHitMiss(const std::vector<SeqAccess> &seq)
+const char *
+CacheSeq::hitEventName(CacheLevel level)
+{
+    switch (level) {
+      case CacheLevel::L1:
+        return "MEM_LOAD_RETIRED.L1_HIT";
+      case CacheLevel::L2:
+        return "MEM_LOAD_RETIRED.L2_HIT";
+      case CacheLevel::L3:
+        return "MEM_LOAD_RETIRED.L3_HIT";
+    }
+    panic("unreachable level");
+}
+
+const char *
+CacheSeq::missEventName(CacheLevel level)
+{
+    switch (level) {
+      case CacheLevel::L1:
+        return "MEM_LOAD_RETIRED.L1_MISS";
+      case CacheLevel::L2:
+        return "MEM_LOAD_RETIRED.L2_MISS";
+      case CacheLevel::L3:
+        return "MEM_LOAD_RETIRED.L3_MISS";
+    }
+    panic("unreachable level");
+}
+
+core::BenchmarkSpec
+CacheSeq::planSeq(const std::vector<SeqAccess> &seq)
+{
+    return planSeqWithPrelude({}, seq);
+}
+
+core::BenchmarkSpec
+CacheSeq::planSeqWithPrelude(const std::vector<Instruction> &prelude,
+                             const std::vector<SeqAccess> &seq)
 {
     core::BenchmarkSpec spec;
-    spec.code = buildBody(seq);
+    if (!prelude.empty()) {
+        // The prelude runs inside the measured body but behind a pause
+        // marker, so the counters ignore it; basic mode's zero-unroll
+        // version skips the body entirely, so the prelude executes
+        // once per measurement (an init part would execute for both
+        // code versions).
+        spec.code.push_back(marker(Opcode::PFC_PAUSE));
+        spec.code.insert(spec.code.end(), prelude.begin(),
+                         prelude.end());
+    }
+    auto body = buildBody(seq);
+    spec.code.insert(spec.code.end(), body.begin(), body.end());
     spec.unrollCount = 1;
     spec.loopCount = 0;
     spec.nMeasurements = opt_.repetitions;
@@ -327,31 +377,28 @@ CacheSeq::runHitMiss(const std::vector<SeqAccess> &seq)
     spec.fixedCounters = false;
 
     // Select the hit/miss events of the targeted level.
-    const char *hit_name = "";
-    const char *miss_name = "";
-    switch (opt_.level) {
-      case CacheLevel::L1:
-        hit_name = "MEM_LOAD_RETIRED.L1_HIT";
-        miss_name = "MEM_LOAD_RETIRED.L1_MISS";
-        break;
-      case CacheLevel::L2:
-        hit_name = "MEM_LOAD_RETIRED.L2_HIT";
-        miss_name = "MEM_LOAD_RETIRED.L2_MISS";
-        break;
-      case CacheLevel::L3:
-        hit_name = "MEM_LOAD_RETIRED.L3_HIT";
-        miss_name = "MEM_LOAD_RETIRED.L3_MISS";
-        break;
-    }
-    for (const char *name : {hit_name, miss_name}) {
+    for (const char *name :
+         {hitEventName(opt_.level), missEventName(opt_.level)}) {
         auto info = sim::findEvent(std::string(name));
         NB_ASSERT(info.has_value(), "event missing from catalog: ", name);
         spec.config.add(core::ConfiguredEvent{info->code, info->id,
                                               info->name});
     }
+    return spec;
+}
 
-    auto result = runner_.run(spec);
-    return HitMiss{result[hit_name], result[miss_name]};
+HitMiss
+CacheSeq::decodeHitMiss(CacheLevel level,
+                        const core::BenchmarkResult &result)
+{
+    return HitMiss{result[hitEventName(level)],
+                   result[missEventName(level)]};
+}
+
+HitMiss
+CacheSeq::runHitMiss(const std::vector<SeqAccess> &seq)
+{
+    return decodeHitMiss(opt_.level, runner_.run(planSeq(seq)));
 }
 
 double

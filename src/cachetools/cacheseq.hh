@@ -83,6 +83,37 @@ class CacheSeq
     /** Mean measured hits and misses. */
     HitMiss runHitMiss(const std::vector<SeqAccess> &seq);
 
+    /**
+     * Plan the benchmark runHitMiss() would execute, without running
+     * it: the returned spec carries the generated body (eviction runs,
+     * pause/resume markers, hit/miss events of the targeted level) and
+     * can go through Session::runBatch() or Engine::runCampaign().
+     * Block addresses are assigned against this tool's current target,
+     * so the spec is only valid on a machine with the same memory
+     * layout (same uarch/seed, R14 area reserved at the same base --
+     * see CampaignOptions::machineSetup).
+     */
+    core::BenchmarkSpec planSeq(const std::vector<SeqAccess> &seq);
+
+    /**
+     * Same, with @p prelude instructions executed (unmeasured, behind
+     * a PFC_PAUSE marker) before the sequence body. The profile's
+     * set-dueling probes use this to carry their PSEL training inside
+     * the spec, making it self-contained.
+     */
+    core::BenchmarkSpec planSeqWithPrelude(
+        const std::vector<x86::Instruction> &prelude,
+        const std::vector<SeqAccess> &seq);
+
+    /** Fold a planned spec's result back into hits/misses. */
+    static HitMiss decodeHitMiss(CacheLevel level,
+                                 const core::BenchmarkResult &result);
+
+    /** Hit/miss event names of a cache level (the events planSeq()
+     *  selects). */
+    static const char *hitEventName(CacheLevel level);
+    static const char *missEventName(CacheLevel level);
+
     /** Virtual address assigned to a block id. */
     Addr blockVaddr(int block);
 

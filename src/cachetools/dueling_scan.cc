@@ -21,6 +21,7 @@
 #include <string>
 
 #include "cachetools/infer.hh"
+#include "common/bits.hh"
 #include "common/logging.hh"
 #include "core/engine.hh"
 
@@ -229,6 +230,103 @@ DuelingScanner::chooseTraining()
     }
 }
 
+void
+DuelingScanner::ensureColdTraining()
+{
+    if (trainColdA_.empty() || trainColdB_.empty())
+        chooseColdTraining();
+}
+
+void
+DuelingScanner::chooseColdTraining()
+{
+    // Like chooseTraining(), but the oracle is a SINGLE pattern pass
+    // against an initially empty set: the planned scan's probe specs
+    // flush the caches every loop iteration, so their in-spec
+    // training always runs from cold and needs patterns whose miss
+    // gap exists without accumulated state.
+    auto pass_misses_cold = [&](const std::string &policy,
+                                const std::vector<int> &pattern) {
+        Rng sim_rng(135791);
+        double misses = 0.0;
+        constexpr unsigned kSimReps = 16;
+        for (unsigned outer = 0; outer < kSimReps; ++outer) {
+            PolicySim sim(cache::makePolicy(policy, assoc_, &sim_rng));
+            for (int b : pattern) {
+                if (!sim.access(b))
+                    misses += 1.0;
+            }
+        }
+        return misses / kSimReps;
+    };
+
+    const auto &cfg = runner_.machine().uarch().cacheConfig;
+    unsigned slices = runner_.machine().caches().numSlices();
+    unsigned min_reuse =
+        (2 * std::max(cfg.l1.assoc, cfg.l2.assoc) + slices - 1) / slices;
+
+    auto min_reuse_distance = [](const std::vector<int> &pattern) {
+        std::size_t best = ~std::size_t{0};
+        for (std::size_t i = 0; i < pattern.size(); ++i) {
+            std::set<int> seen;
+            for (std::size_t j = i + 1; j < pattern.size(); ++j) {
+                if (pattern[j] == pattern[i]) {
+                    best = std::min(best, seen.size());
+                    break;
+                }
+                seen.insert(pattern[j]);
+            }
+        }
+        return best;
+    };
+
+    Rng rng(606060);
+    double best_a = 0.0;
+    double best_b = 0.0;
+    for (unsigned trial = 0; trial < 400; ++trial) {
+        unsigned n_blocks = std::max(assoc_ - 2, min_reuse + 2) +
+                            static_cast<unsigned>(rng.nextBelow(8));
+        std::vector<int> perm(n_blocks);
+        for (unsigned i = 0; i < n_blocks; ++i)
+            perm[i] = static_cast<int>(i);
+        for (unsigned i = n_blocks; i > 1; --i) {
+            std::size_t j = rng.nextBelow(i);
+            std::swap(perm[i - 1], perm[j]);
+        }
+        unsigned rounds = 2 + static_cast<unsigned>(rng.nextBelow(2));
+        std::vector<int> pattern;
+        for (unsigned r = 0; r < rounds; ++r) {
+            for (int b : perm) {
+                if (rng.nextBelow(8) == 0)
+                    continue;
+                pattern.push_back(b);
+            }
+        }
+        if (min_reuse_distance(pattern) < min_reuse)
+            continue;
+        double ma = pass_misses_cold(policyA_, pattern);
+        double mb = pass_misses_cold(policyB_, pattern);
+        auto to_seq = [](const std::vector<int> &p) {
+            std::vector<SeqAccess> seq;
+            for (int b : p)
+                seq.push_back({b, false, false});
+            return seq;
+        };
+        if (ma - mb > best_b) {
+            best_b = ma - mb;
+            trainColdB_ = to_seq(pattern);
+        }
+        if (mb - ma > best_a) {
+            best_a = mb - ma;
+            trainColdA_ = to_seq(pattern);
+        }
+    }
+    if (best_a < 0.5 || best_b < 0.5) {
+        warn("set-dueling scanner: weak cold training patterns (gaps ",
+             best_a, " / ", best_b, ")");
+    }
+}
+
 std::vector<Addr>
 DuelingScanner::trainAddrs(unsigned slice, unsigned set, unsigned count)
 {
@@ -295,6 +393,65 @@ DuelingScanner::train(bool towards_a, unsigned set_lo, unsigned set_hi)
     }
 }
 
+namespace
+{
+
+/** mov RBX, [vaddr] -- the training load shape. */
+x86::Instruction
+trainLoad(Addr vaddr)
+{
+    x86::MemRef m;
+    m.disp = static_cast<std::int64_t>(vaddr);
+    x86::Instruction insn;
+    insn.opcode = x86::Opcode::MOV;
+    insn.operands = {x86::Operand::makeReg(x86::Reg::RBX),
+                     x86::Operand::makeMem(m, 64)};
+    return insn;
+}
+
+/** The follower/fixed-A/fixed-B verdict of one probed set, from its
+ *  signature under the two training phases. */
+SetRole
+classifyRole(double sig_a, double sig_b, double gap, double expected_a,
+             double expected_b)
+{
+    if (std::abs(sig_a - sig_b) > gap / 2)
+        return SetRole::Follower;
+    double s = 0.5 * (sig_a + sig_b);
+    if (gap < 1e-9)
+        return SetRole::Unknown;
+    bool closer_to_a =
+        std::abs(s - expected_a) < std::abs(s - expected_b);
+    return closer_to_a ? SetRole::FixedA : SetRole::FixedB;
+}
+
+/** Group consecutive dedicated probes into ranges (per slice). */
+void
+groupDedicatedRanges(DuelingScanResult &result, unsigned stride)
+{
+    for (unsigned slice = 0; slice < result.roles.size(); ++slice) {
+        const auto &probes = result.roles[slice];
+        std::size_t i = 0;
+        while (i < probes.size()) {
+            SetRole role = probes[i].second;
+            if (role != SetRole::FixedA && role != SetRole::FixedB) {
+                ++i;
+                continue;
+            }
+            std::size_t j = i;
+            while (j + 1 < probes.size() &&
+                   probes[j + 1].second == role &&
+                   probes[j + 1].first - probes[j].first <= stride)
+                ++j;
+            result.dedicatedRanges.push_back(
+                {slice, probes[i].first, probes[j].first, role});
+            i = j + 1;
+        }
+    }
+}
+
+} // namespace
+
 DuelingScanResult
 DuelingScanner::scan(const DuelingScanOptions &opt)
 {
@@ -333,15 +490,8 @@ DuelingScanner::scan(const DuelingScanOptions &opt)
         };
 
     auto classify = [&](double a, double b) {
-        if (std::abs(a - b) > gap / 2)
-            return SetRole::Follower;
-        double s = 0.5 * (a + b);
-        if (gap < 1e-9)
-            return SetRole::Unknown;
-        bool closer_to_a = std::abs(s - expectedA_) <
-                           std::abs(s - expectedB_);
         (void)mid;
-        return closer_to_a ? SetRole::FixedA : SetRole::FixedB;
+        return classifyRole(a, b, gap, expectedA_, expectedB_);
     };
 
     // ---- Coarse pass over the band.
@@ -398,25 +548,187 @@ DuelingScanner::scan(const DuelingScanOptions &opt)
     }
 
     // ---- Group consecutive dedicated probes into ranges.
-    for (unsigned slice = 0; slice < slices; ++slice) {
-        const auto &probes = result.roles[slice];
-        std::size_t i = 0;
-        while (i < probes.size()) {
-            SetRole role = probes[i].second;
-            if (role != SetRole::FixedA && role != SetRole::FixedB) {
-                ++i;
-                continue;
+    groupDedicatedRanges(result, opt.stride);
+    return result;
+}
+
+// ------------------------------------------------------- plan/decode --
+
+Addr
+DuelingScanner::planAreaSize(const DuelingPlanOptions &opt)
+{
+    (void)opt;
+    ensureColdTraining();
+    const auto &caches = runner_.machine().caches();
+    Addr stride = static_cast<Addr>(caches.l3Slice(0).numSets()) *
+                  kCacheLineSize;
+    int max_block = 0;
+    for (const auto &seq : {trainColdA_, trainColdB_}) {
+        for (const auto &acc : seq)
+            max_block = std::max(max_block, acc.block);
+    }
+    auto blocks = static_cast<Addr>(max_block) + 1;
+    // Candidates for one (set, slice) appear every ~slices * stride
+    // bytes; double that for slice-hash clustering, plus alignment.
+    return stride * (blocks * caches.numSlices() * 2 + 2);
+}
+
+DuelingPlan
+DuelingScanner::plan(const DuelingPlanOptions &opt)
+{
+    auto &machine = runner_.machine();
+    auto &caches = machine.caches();
+    unsigned slices = caches.numSlices();
+
+    ensureColdTraining();
+
+    DuelingPlan plan;
+    plan.options = opt;
+    plan.policyA = policyA_;
+    plan.policyB = policyB_;
+    plan.expectedA = expectedA_;
+    plan.expectedB = expectedB_;
+
+    // The CacheSeq reserves its (large) R14 area first; the training
+    // lines are then laid out in the same area, so one machineSetup
+    // reservation reproduces everything.
+    CacheSeqOptions seq_opt;
+    seq_opt.level = CacheLevel::L3;
+    seq_opt.set = opt.setLo;
+    seq_opt.cbox = 0;
+    seq_opt.repetitions = opt.reps;
+    CacheSeq cache_seq(runner_, seq_opt);
+    if (runner_.r14AreaSize() < planAreaSize(opt))
+        fatal("set-dueling plan: R14 area too small for the training "
+              "lines (have ", runner_.r14AreaSize(), ", need ",
+              planAreaSize(opt), ")");
+    plan.r14Size = runner_.r14AreaSize();
+
+    // The probed set grid; the in-spec training replays the pattern
+    // over exactly this grid (block-major across sets and slices, the
+    // same interleaving the serial train() uses, so reuses still
+    // reach the L3 through the slice interleaving).
+    std::vector<unsigned> grid;
+    for (unsigned set = opt.setLo; set <= opt.setHi; set += opt.stride)
+        grid.push_back(set);
+
+    int max_block = 0;
+    for (const auto &seq : {trainColdA_, trainColdB_}) {
+        for (const auto &acc : seq)
+            max_block = std::max(max_block, acc.block);
+    }
+    auto blocks = static_cast<unsigned>(max_block) + 1;
+
+    // Training lines: lines[(set index in grid) * slices + slice][b].
+    Addr area_virt = runner_.r14Area();
+    Addr area_phys = machine.memory().translate(area_virt);
+    Addr stride = static_cast<Addr>(caches.l3Slice(0).numSets()) *
+                  kCacheLineSize;
+    Addr origin = alignUp(area_phys, stride);
+    std::vector<std::vector<Addr>> lines;
+    lines.reserve(grid.size() * slices);
+    for (unsigned set : grid) {
+        for (unsigned slice = 0; slice < slices; ++slice) {
+            std::vector<Addr> per_block;
+            Addr candidate =
+                origin + static_cast<Addr>(set) * kCacheLineSize;
+            while (per_block.size() < blocks) {
+                if (candidate + kCacheLineSize >
+                    area_phys + runner_.r14AreaSize())
+                    fatal("set-dueling plan ran out of training lines");
+                if (caches.sliceOf(candidate) == slice)
+                    per_block.push_back(area_virt +
+                                        (candidate - area_phys));
+                candidate += stride;
             }
-            std::size_t j = i;
-            while (j + 1 < probes.size() &&
-                   probes[j + 1].second == role &&
-                   probes[j + 1].first - probes[j].first <= opt.stride)
-                ++j;
-            result.dedicatedRanges.push_back(
-                {slice, probes[i].first, probes[j].first, role});
-            i = j + 1;
+            lines.push_back(std::move(per_block));
         }
     }
+
+    // One training replay per phase, block-major over the grid.
+    auto train_body = [&](bool towards_a) {
+        const auto &seq = towards_a ? trainColdA_ : trainColdB_;
+        std::vector<x86::Instruction> body;
+        body.reserve(seq.size() * lines.size());
+        for (const auto &acc : seq) {
+            if (acc.wbinvd)
+                continue;
+            auto b = static_cast<std::size_t>(acc.block);
+            for (const auto &set_lines : lines)
+                body.push_back(trainLoad(set_lines[b]));
+        }
+        return body;
+    };
+    std::vector<x86::Instruction> train_a = train_body(true);
+    std::vector<x86::Instruction> train_b = train_body(false);
+
+    // One self-contained spec per (phase, slice, set): the loop
+    // replays [train (paused), probe signature (measured)] -- the
+    // warm-up execution saturates the PSEL duel, the measured
+    // execution averages the signature over trainReplays probes.
+    for (bool phase_a : {true, false}) {
+        for (unsigned slice = 0; slice < slices; ++slice) {
+            for (unsigned set : grid) {
+                cache_seq.setTarget(set, slice);
+                core::BenchmarkSpec spec = cache_seq.planSeqWithPrelude(
+                    phase_a ? train_a : train_b, sig_);
+                spec.loopCount = std::max(1u, opt.trainReplays);
+                spec.warmUpCount = 1;
+                plan.probes.push_back({slice, set, phase_a});
+                plan.specs.push_back(std::move(spec));
+            }
+        }
+    }
+    return plan;
+}
+
+DuelingScanResult
+DuelingScanner::decode(const DuelingPlan &plan,
+                       const std::vector<RunOutcome> &outcomes)
+{
+    NB_ASSERT(outcomes.size() == plan.probes.size(),
+              "dueling decode needs one outcome per probe");
+    unsigned slices = 0;
+    for (const auto &probe : plan.probes)
+        slices = std::max(slices, probe.slice + 1);
+
+    // Signatures of every probed (slice, set) under each phase;
+    // failed probes simply stay absent.
+    std::vector<std::map<unsigned, double>> sig_a(slices);
+    std::vector<std::map<unsigned, double>> sig_b(slices);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].ok())
+            continue;
+        const DuelingProbe &probe = plan.probes[i];
+        double hits = CacheSeq::decodeHitMiss(CacheLevel::L3,
+                                              outcomes[i].result())
+                          .hits;
+        (probe.phaseA ? sig_a : sig_b)[probe.slice][probe.set] = hits;
+    }
+
+    double gap = std::abs(plan.expectedA - plan.expectedB);
+    DuelingScanResult result;
+    result.roles.resize(slices);
+    for (unsigned slice = 0; slice < slices; ++slice) {
+        for (const auto &[set, a] : sig_a[slice]) {
+            auto it = sig_b[slice].find(set);
+            SetRole role =
+                it == sig_b[slice].end()
+                    ? SetRole::Unknown
+                    : classifyRole(a, it->second, gap, plan.expectedA,
+                                   plan.expectedB);
+            result.roles[slice].push_back({set, role});
+        }
+        // Phase-B-only probes (phase A failed) classify as Unknown.
+        for (const auto &[set, b] : sig_b[slice]) {
+            (void)b;
+            if (!sig_a[slice].count(set))
+                result.roles[slice].push_back({set, SetRole::Unknown});
+        }
+        std::sort(result.roles[slice].begin(),
+                  result.roles[slice].end());
+    }
+    groupDedicatedRanges(result, plan.options.stride);
     return result;
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cachetools/cacheseq.hh"
+#include "core/engine.hh"
 
 namespace nb::cachetools
 {
@@ -76,6 +77,60 @@ struct DuelingScanResult
  *  warm up in the set for the policies' miss counts to diverge). */
 inline constexpr unsigned kTrainReplays = 4;
 
+/**
+ * Options of the planned (campaign-ready) scan. Unlike the serial
+ * scan there is no adaptive stride-1 refinement pass -- every probed
+ * set is fixed up front -- so boundaries are only as sharp as the
+ * stride.
+ */
+struct DuelingPlanOptions
+{
+    unsigned setLo = 496;  ///< first set of the scanned band
+    unsigned setHi = 847;  ///< last set (inclusive)
+    unsigned stride = 16;  ///< probe every stride-th set
+    unsigned reps = 1;     ///< signature repetitions (measurements)
+    /**
+     * Training replays carried inside each probe spec (the spec's
+     * loop count): each iteration replays the training pattern over
+     * the probed set grid (unmeasured, behind a pause marker) and
+     * then probes the signature, so the PSEL duel saturates during
+     * the warm-up execution and stays saturated while measuring.
+     */
+    unsigned trainReplays = 32;
+};
+
+/** What one planned probe spec measures. */
+struct DuelingProbe
+{
+    unsigned slice = 0;
+    unsigned set = 0;
+    /** True: the spec trains the duel towards policy A. */
+    bool phaseA = true;
+};
+
+/**
+ * A planned set-dueling scan. Every spec is self-contained (training
+ * + probe); it assumes a machine in its just-booted state -- PSEL at
+ * the saturating counter's midpoint -- with the R14 area reserved at
+ * the same base as the planning runner's, so run it through a
+ * campaign with freshMachinePerSpec and a machineSetup reserving
+ * r14Size bytes (the profile builder does exactly that).
+ */
+struct DuelingPlan
+{
+    DuelingPlanOptions options;
+    std::string policyA;
+    std::string policyB;
+    /** Expected signature hits under each pure policy (simulated). */
+    double expectedA = 0.0;
+    double expectedB = 0.0;
+    /** probes[i] describes specs[i]. */
+    std::vector<DuelingProbe> probes;
+    std::vector<core::BenchmarkSpec> specs;
+    /** R14-area size the planned addresses assume. */
+    Addr r14Size = 0;
+};
+
 /** The scanner, bound to one kernel runner. */
 class DuelingScanner
 {
@@ -94,6 +149,21 @@ class DuelingScanner
 
     DuelingScanResult scan(const DuelingScanOptions &options);
 
+    /**
+     * Plan the scan as campaign-ready specs (see DuelingPlan). The
+     * runner needs an R14 area large enough for the training lines;
+     * @throws nb::FatalError if it is too small.
+     */
+    DuelingPlan plan(const DuelingPlanOptions &options);
+
+    /** R14 bytes plan() needs for a band of the given options. */
+    Addr planAreaSize(const DuelingPlanOptions &options);
+
+    /** Fold campaign outcomes (one per plan spec, in plan order) back
+     *  into a scan result; failed probes classify as Unknown. */
+    static DuelingScanResult decode(const DuelingPlan &plan,
+                                    const std::vector<RunOutcome> &outcomes);
+
     /** The signature sequence chosen by the offline search. */
     const std::vector<SeqAccess> &signatureSeq() const { return sig_; }
     double expectedHitsA() const { return expectedA_; }
@@ -102,6 +172,10 @@ class DuelingScanner
   private:
     void chooseSignature();
     void chooseTraining();
+    /** Run the cold-pattern search once, on first use: only the
+     *  planned scan needs it, serial scan() users never pay it. */
+    void ensureColdTraining();
+    void chooseColdTraining();
     /** Drive the PSEL duel so that the given policy wins. */
     void train(bool towards_a, unsigned set_lo, unsigned set_hi);
     /** Addresses in a given slice and set (direct physical). */
@@ -120,6 +194,13 @@ class DuelingScanner
      *  versa, driving the PSEL counter in the wanted direction. */
     std::vector<SeqAccess> trainSeqA_;
     std::vector<SeqAccess> trainSeqB_;
+    /** Same, but optimized for a single pass from a flushed cache:
+     *  the planned scan's probe specs flush (WBINVD) every loop
+     *  iteration, so each training replay runs from cold and the
+     *  steady-state patterns above lose (or even invert) their miss
+     *  gap. */
+    std::vector<SeqAccess> trainColdA_;
+    std::vector<SeqAccess> trainColdB_;
 };
 
 } // namespace nb::cachetools

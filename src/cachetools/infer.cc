@@ -140,6 +140,30 @@ candidatePolicyNames(unsigned assoc)
     return names;
 }
 
+namespace
+{
+
+/** One random identification sequence (§VI-C1): flushed first, a few
+ *  more blocks than ways, every access measured. Shared by the serial
+ *  tool and planPolicyId() so both test the same distribution. */
+std::vector<SeqAccess>
+randomIdSequence(Rng &rng, unsigned assoc, unsigned seq_length_factor)
+{
+    unsigned n_blocks =
+        assoc + 1 + static_cast<unsigned>(rng.nextBelow(4));
+    unsigned length = assoc * seq_length_factor +
+                      static_cast<unsigned>(rng.nextBelow(assoc));
+    std::vector<SeqAccess> seq;
+    seq.push_back({-1, false, true});
+    for (unsigned k = 0; k < length; ++k) {
+        seq.push_back(
+            {static_cast<int>(rng.nextBelow(n_blocks)), true, false});
+    }
+    return seq;
+}
+
+} // namespace
+
 PolicyIdentification
 identifyPolicy(SetProbe &probe, Rng &rng, unsigned n_sequences,
                unsigned seq_length_factor)
@@ -160,18 +184,7 @@ identifyPolicy(SetProbe &probe, Rng &rng, unsigned n_sequences,
     Rng sim_rng(12345); // candidate simulations are deterministic anyway
 
     for (unsigned s = 0; s < n_sequences; ++s) {
-        // Random sequence over a few more blocks than ways; all
-        // accesses measured; always flushed first.
-        unsigned n_blocks = assoc + 1 + static_cast<unsigned>(
-                                           rng.nextBelow(4));
-        unsigned length = assoc * seq_length_factor +
-                          static_cast<unsigned>(rng.nextBelow(assoc));
-        std::vector<SeqAccess> seq;
-        seq.push_back({-1, false, true});
-        for (unsigned k = 0; k < length; ++k) {
-            seq.push_back({static_cast<int>(rng.nextBelow(n_blocks)),
-                           true, false});
-        }
+        auto seq = randomIdSequence(rng, assoc, seq_length_factor);
         ++out.sequencesTested;
 
         double measured = probe.hits(seq);
@@ -217,6 +230,131 @@ AgeGraph::toCsv() const
         os << "\n";
     }
     return os.str();
+}
+
+// ------------------------------------------------------- plan/decode --
+
+AssocPlan
+planAssociativity(CacheSeq &seq, unsigned max_assoc)
+{
+    AssocPlan plan;
+    plan.level = seq.options().level;
+    plan.maxAssoc = max_assoc;
+    for (unsigned k = 1; k <= max_assoc; ++k) {
+        std::vector<SeqAccess> s;
+        s.push_back({-1, false, true}); // <wbinvd>
+        for (unsigned i = 0; i < k; ++i)
+            s.push_back({static_cast<int>(i), false, false});
+        for (unsigned i = 0; i < k; ++i)
+            s.push_back({static_cast<int>(i), true, false});
+        plan.specs.push_back(seq.planSeq(s));
+    }
+    return plan;
+}
+
+AssocResult
+decodeAssociativity(const AssocPlan &plan,
+                    const std::vector<RunOutcome> &outcomes)
+{
+    NB_ASSERT(outcomes.size() == plan.maxAssoc,
+              "associativity decode needs one outcome per spec");
+    AssocResult out;
+    for (unsigned k = 1; k <= plan.maxAssoc; ++k) {
+        const RunOutcome &outcome = outcomes[k - 1];
+        if (!outcome.ok()) {
+            // No information beyond this point; report the lower
+            // bound found so far plus the failure.
+            out.error = outcome.error().message;
+            return out;
+        }
+        double hits =
+            CacheSeq::decodeHitMiss(plan.level, outcome.result()).hits;
+        if (hits + 0.5 < k)
+            break;
+        out.assoc = k;
+    }
+    return out;
+}
+
+PolicyIdPlan
+planPolicyId(CacheSeq &seq, unsigned assoc, Rng &rng,
+             unsigned n_sequences, unsigned seq_length_factor)
+{
+    PolicyIdPlan plan;
+    plan.level = seq.options().level;
+    plan.assoc = assoc;
+    for (unsigned s = 0; s < n_sequences; ++s) {
+        auto sequence = randomIdSequence(rng, assoc, seq_length_factor);
+        core::BenchmarkSpec spec = seq.planSeq(sequence);
+        spec.nMeasurements = 2;
+        // The Min/Max aggregates over the two runs replace the serial
+        // tool's "run it twice, compare" determinism check; the
+        // differing aggregate also keeps the pair from being deduped
+        // into one execution.
+        spec.agg = Aggregate::Minimum;
+        plan.specs.push_back(spec);
+        spec.agg = Aggregate::Maximum;
+        plan.specs.push_back(std::move(spec));
+        plan.sequences.push_back(std::move(sequence));
+    }
+    return plan;
+}
+
+PolicyIdentification
+decodePolicyId(const PolicyIdPlan &plan,
+               const std::vector<RunOutcome> &outcomes)
+{
+    NB_ASSERT(outcomes.size() == 2 * plan.sequences.size(),
+              "policy decode needs two outcomes per sequence");
+    PolicyIdentification out;
+
+    struct Candidate
+    {
+        std::string name;
+        bool alive = true;
+    };
+    std::vector<Candidate> candidates;
+    for (auto &name : candidatePolicyNames(plan.assoc))
+        candidates.push_back({name, true});
+
+    Rng sim_rng(12345); // candidate simulations are deterministic anyway
+
+    for (std::size_t s = 0; s < plan.sequences.size(); ++s) {
+        const RunOutcome &lo = outcomes[2 * s];
+        const RunOutcome &hi = outcomes[2 * s + 1];
+        if (!lo.ok() || !hi.ok()) {
+            ++out.sequencesSkipped;
+            continue;
+        }
+        ++out.sequencesTested;
+        double min_hits =
+            CacheSeq::decodeHitMiss(plan.level, lo.result()).hits;
+        double max_hits =
+            CacheSeq::decodeHitMiss(plan.level, hi.result()).hits;
+        if (min_hits != max_hits ||
+            min_hits != std::floor(min_hits)) {
+            // The two runs of the same benchmark disagree (or the
+            // count is fractional): not deterministic (§VI-D).
+            out.deterministic = false;
+            out.matches.clear();
+            return out;
+        }
+        auto expected = static_cast<unsigned>(min_hits);
+        for (auto &cand : candidates) {
+            if (!cand.alive)
+                continue;
+            SimSetProbe sim(cand.name, plan.assoc, &sim_rng);
+            if (static_cast<unsigned>(sim.hits(plan.sequences[s])) !=
+                expected)
+                cand.alive = false;
+        }
+    }
+
+    for (const auto &cand : candidates) {
+        if (cand.alive)
+            out.matches.push_back(cand.name);
+    }
+    return out;
 }
 
 AgeGraph

@@ -36,6 +36,7 @@
 #include "cachetools/cacheseq.hh"
 #include "cachetools/policy_sim.hh"
 #include "common/rng.hh"
+#include "core/engine.hh"
 
 namespace nb::cachetools
 {
@@ -129,6 +130,9 @@ struct PolicyIdentification
     bool deterministic = true;
     /** Number of sequences tested. */
     unsigned sequencesTested = 0;
+    /** Sequences whose benchmark failed (plan/decode path only);
+     *  they constrain nothing, the rest still identify. */
+    unsigned sequencesSkipped = 0;
 };
 
 /** Candidate policy names: basic policies + all meaningful QLRU
@@ -162,6 +166,58 @@ struct AgeGraph
  */
 AgeGraph computeAgeGraph(SetProbe &probe, unsigned n_blocks,
                          unsigned max_fresh, unsigned step = 4);
+
+// ------------------------------------------------------- plan/decode --
+//
+// Campaign-ready variants of the inference procedures: plan*() emits
+// plain BenchmarkSpecs against a CacheSeq target (run them through
+// Session::runBatch() or Engine::runCampaign()), decode*() folds the
+// outcomes back, in plan order, tolerating per-spec failures.
+
+/** Planned associativity measurement: spec k probes whether k freshly
+ *  filled blocks all re-hit (k = 1 .. maxAssoc, in order). */
+struct AssocPlan
+{
+    CacheLevel level = CacheLevel::L1;
+    unsigned maxAssoc = 0;
+    std::vector<core::BenchmarkSpec> specs;
+};
+
+AssocPlan planAssociativity(CacheSeq &seq, unsigned max_assoc = 32);
+
+/** Decoded associativity; error is set if the measurement broke off
+ *  early on a failed benchmark (assoc is the best lower bound then). */
+struct AssocResult
+{
+    unsigned assoc = 0;
+    std::string error;
+};
+
+AssocResult decodeAssociativity(const AssocPlan &plan,
+                                const std::vector<RunOutcome> &outcomes);
+
+/**
+ * Planned random-sequence policy identification. Every sequence maps
+ * to TWO specs (aggregate Min and Max over two measurement runs):
+ * comparing the two aggregates of the same body is the plan-level
+ * equivalent of the serial tool's run-twice determinism check, and the
+ * differing aggregate keeps campaign dedup from collapsing the pair.
+ */
+struct PolicyIdPlan
+{
+    CacheLevel level = CacheLevel::L1;
+    unsigned assoc = 0;
+    std::vector<std::vector<SeqAccess>> sequences;
+    /** specs[2*i] / specs[2*i+1]: Min/Max spec of sequences[i]. */
+    std::vector<core::BenchmarkSpec> specs;
+};
+
+PolicyIdPlan planPolicyId(CacheSeq &seq, unsigned assoc, Rng &rng,
+                          unsigned n_sequences = 150,
+                          unsigned seq_length_factor = 3);
+
+PolicyIdentification decodePolicyId(
+    const PolicyIdPlan &plan, const std::vector<RunOutcome> &outcomes);
 
 } // namespace nb::cachetools
 

@@ -52,7 +52,10 @@ accessSeqToString(const std::vector<SeqAccess> &seq)
             out += "<wbinvd>";
             continue;
         }
-        out += "B" + std::to_string(acc.block);
+        // Two appends, not operator+: GCC 12's -Wrestrict sees a
+        // false-positive overlap in the temporary at -O3.
+        out += "B";
+        out += std::to_string(acc.block);
         if (!acc.measured)
             out += "?";
     }

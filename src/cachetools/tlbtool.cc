@@ -5,10 +5,9 @@
 
 #include "tlbtool.hh"
 
-#include <functional>
+#include <algorithm>
 
 #include "common/logging.hh"
-#include "core/engine.hh"
 #include "x86/assembler.hh"
 
 namespace nb::cachetools
@@ -62,66 +61,215 @@ ins_store_abs(Addr addr, Reg r)
     return insn;
 }
 
-struct Probe
+/** The capacity-sweep grid: 2^k and 3*2^k points up to max_pages
+ *  (plus max_pages itself), so the usual TLB sizes -- 64, 1536, ... --
+ *  land exactly on grid points. */
+std::vector<unsigned>
+sweepLadder(unsigned max_pages)
 {
-    double stlbHits = 0.0;  ///< DTLB misses that hit the STLB, per load
-    double walks = 0.0;     ///< page walks per load
-    double cycles = 0.0;    ///< cycles per load
-};
+    std::vector<unsigned> ladder = {1};
+    for (unsigned p = 2; p <= max_pages && p != 0; p *= 2) {
+        ladder.push_back(p);
+        unsigned q = p + p / 2;
+        if (q <= max_pages)
+            ladder.push_back(q);
+    }
+    ladder.push_back(max_pages);
+    std::sort(ladder.begin(), ladder.end());
+    ladder.erase(std::unique(ladder.begin(), ladder.end()),
+                 ladder.end());
+    return ladder;
+}
 
-Probe
-probe(core::Runner &runner, unsigned n_pages, Addr stride = 4096)
+/** Ring addresses of the penalty chase: page-stride rings stagger the
+ *  line offset within each page, so the ring spreads over all L1/L2
+ *  sets instead of colliding in one. */
+Addr
+ringAddr(Addr base, unsigned i, Addr stride)
 {
+    Addr a = base + i * stride;
+    if (stride >= 4096)
+        a += ((i / 8) % 64) * 64;
+    return a;
+}
+
+/** The dependent pointer chase around a ring of n lines at the given
+ *  stride (§VI: dependent loads defeat memory-level parallelism, so
+ *  the translation penalty shows up in full). */
+core::BenchmarkSpec
+chaseSpec(Addr base, unsigned n, Addr stride)
+{
+    std::vector<Instruction> init;
+    for (unsigned i = 0; i < n; ++i) {
+        Addr slot = ringAddr(base, i, stride);
+        Addr next = ringAddr(base, (i + 1) % n, stride);
+        init.push_back(
+            ins_mov_imm(Reg::RBX, static_cast<std::int64_t>(next)));
+        init.push_back(ins_store_abs(slot, Reg::RBX));
+    }
     core::BenchmarkSpec spec;
-    spec.code = strideLoads(n_pages, stride);
+    spec.init = std::move(init);
+    spec.asmCode = "mov R14, [R14]";
     spec.unrollCount = 1;
-    spec.loopCount = 4; // cycle the working set (cyclic = LRU worst case)
+    spec.loopCount = 4 * n;
     spec.warmUpCount = 2;
     spec.nMeasurements = 3;
     spec.agg = Aggregate::Median;
-    spec.noMem = true;
-    spec.fixedCounters = false;
-    spec.config = core::CounterConfig::parseString(
-        "08.20 DTLB_LOAD_MISSES.STLB_HIT\n"
-        "08.01 DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK\n");
-    auto result = runner.run(spec);
-    Probe p;
-    double denom = n_pages;
-    p.stlbHits = result["DTLB_LOAD_MISSES.STLB_HIT"] / denom;
-    p.walks = result["DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK"] / denom;
-
-    // A second run with the fixed counters gives cycles per load.
-    spec.noMem = false;
-    spec.fixedCounters = true;
-    spec.config = core::CounterConfig{};
-    auto timing = runner.run(spec);
-    p.cycles = timing["Core cycles"] / denom;
-    return p;
-}
-
-/** Largest N in [lo, hi] where pred(N); pred must be monotone. */
-unsigned
-binarySearch(unsigned lo, unsigned hi,
-             const std::function<bool(unsigned)> &pred)
-{
-    while (lo < hi) {
-        unsigned mid = (lo + hi + 1) / 2;
-        if (pred(mid))
-            lo = mid;
-        else
-            hi = mid - 1;
-    }
-    return lo;
+    return spec;
 }
 
 } // namespace
+
+TlbPlan
+planTlb(core::Runner &runner, unsigned max_pages)
+{
+    if (runner.mode() != core::Mode::Kernel)
+        fatal("the TLB tool requires the kernel-space runner");
+    Addr needed = static_cast<Addr>(max_pages + 1) * 4096;
+    if (runner.r14AreaSize() < needed)
+        fatal("the TLB plan needs an R14 area of at least ", needed,
+              " bytes (reserve it first)");
+
+    TlbPlan plan;
+    plan.maxPages = max_pages;
+    plan.ladder = sweepLadder(max_pages);
+    plan.r14Size = runner.r14AreaSize();
+
+    // Miss sweep: one spec per ladder size, cycling the working set
+    // (cyclic = LRU worst case) and counting the DTLB miss events.
+    for (unsigned n : plan.ladder) {
+        core::BenchmarkSpec spec;
+        spec.code = strideLoads(n, 4096);
+        spec.unrollCount = 1;
+        spec.loopCount = 4;
+        spec.warmUpCount = 2;
+        spec.nMeasurements = 3;
+        spec.agg = Aggregate::Median;
+        spec.noMem = true;
+        spec.fixedCounters = false;
+        spec.config = core::CounterConfig::parseString(
+            "08.20 DTLB_LOAD_MISSES.STLB_HIT\n"
+            "08.01 DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK\n");
+        plan.specs.push_back(std::move(spec));
+    }
+
+    // Penalty chases: a (page-strided, dense) pair per ladder size.
+    // The identical cache footprint of a pair cancels the cache-
+    // hierarchy contribution and isolates the translation penalty;
+    // decodeTlb() picks the pairs whose ring sizes bracket the
+    // capacities it finds in the sweep.
+    Addr base = runner.r14Area();
+    for (unsigned n : plan.ladder) {
+        plan.specs.push_back(chaseSpec(base, n, 4096));
+        plan.specs.push_back(chaseSpec(base, n, 64));
+    }
+    return plan;
+}
+
+TlbCharacterization
+decodeTlb(const TlbPlan &plan, const std::vector<RunOutcome> &outcomes)
+{
+    NB_ASSERT(outcomes.size() == 3 * plan.ladder.size(),
+              "TLB decode needs one outcome per planned spec");
+    TlbCharacterization out;
+    auto fail = [&](const RunOutcome &outcome) {
+        if (out.error.empty())
+            out.error = outcome.error().message;
+    };
+    auto fail_text = [&](const std::string &message) {
+        if (out.error.empty())
+            out.error = message;
+    };
+
+    // Capacities: the largest ladder size with (near-)zero misses at
+    // the respective level -- the same monotone criterion the former
+    // binary search evaluated, on the fixed grid.
+    std::size_t n_ladder = plan.ladder.size();
+    bool dtlb_done = false;
+    for (std::size_t i = 0; i < n_ladder; ++i) {
+        const RunOutcome &outcome = outcomes[i];
+        if (!outcome.ok()) {
+            fail(outcome);
+            break;
+        }
+        const auto &result = outcome.result();
+        double denom = plan.ladder[i];
+        auto stlb_line = result.find("DTLB_LOAD_MISSES.STLB_HIT");
+        auto walk_line =
+            result.find("DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK");
+        if (!stlb_line || !walk_line) {
+            fail_text("DTLB_LOAD_MISSES events unavailable");
+            break;
+        }
+        double stlb_hits = *stlb_line / denom;
+        double walks = *walk_line / denom;
+        if (!dtlb_done && stlb_hits + walks < 0.01)
+            out.dtlbEntries = plan.ladder[i];
+        else
+            dtlb_done = true;
+        if (walks < 0.01)
+            out.stlbEntries = plan.ladder[i];
+        else
+            break; // past both capacities: the rest adds nothing
+    }
+
+    // Penalties: STLB penalty from a ring small enough that both
+    // chase variants stay L1-resident (pure translation difference);
+    // walk penalty from a ring past the STLB but still cache-resident
+    // in both variants.
+    auto chase_pair = [&](unsigned n) -> std::optional<double> {
+        auto it = std::find(plan.ladder.begin(), plan.ladder.end(), n);
+        NB_ASSERT(it != plan.ladder.end(), "ring size off ladder");
+        std::size_t i =
+            n_ladder +
+            2 * static_cast<std::size_t>(it - plan.ladder.begin());
+        if (!outcomes[i].ok() || !outcomes[i + 1].ok()) {
+            fail(!outcomes[i].ok() ? outcomes[i] : outcomes[i + 1]);
+            return std::nullopt;
+        }
+        auto strided = outcomes[i].result().find("Core cycles");
+        auto dense = outcomes[i + 1].result().find("Core cycles");
+        if (!strided || !dense) {
+            fail_text("no Core cycles line (fixed counters "
+                      "unavailable on this machine)");
+            return std::nullopt;
+        }
+        return *strided - *dense;
+    };
+    auto ladder_at_most = [&](unsigned cap,
+                              unsigned above) -> std::optional<unsigned> {
+        std::optional<unsigned> best;
+        for (unsigned n : plan.ladder) {
+            if (n > above && n <= cap)
+                best = n;
+        }
+        return best;
+    };
+
+    if (out.stlbEntries > out.dtlbEntries) {
+        unsigned target = std::min(
+            6 * out.dtlbEntries,
+            (out.dtlbEntries + out.stlbEntries) / 2);
+        if (auto n = ladder_at_most(target, out.dtlbEntries)) {
+            if (auto penalty = chase_pair(*n))
+                out.stlbPenalty = *penalty;
+        }
+    }
+    unsigned beyond = std::min(plan.maxPages, out.stlbEntries + 512);
+    if (auto n = ladder_at_most(beyond, out.stlbEntries)) {
+        if (auto penalty = chase_pair(*n))
+            out.walkPenalty = *penalty;
+    }
+    return out;
+}
 
 TlbCharacterization
 measureTlb(core::Runner &runner, unsigned max_pages)
 {
     if (runner.mode() != core::Mode::Kernel)
         fatal("the TLB tool requires the kernel-space runner");
-    if (!runner.reserveR14Area(static_cast<Addr>(max_pages + 1) * 4096))
+    Addr needed = static_cast<Addr>(max_pages + 1) * 4096;
+    if (runner.r14AreaSize() < needed && !runner.reserveR14Area(needed))
         fatal("cannot reserve the page-sweep area");
     // Hardware prefetchers would give the dense baseline rings an
     // unfair cache advantage (§IV-A2); disable them like the cache
@@ -131,70 +279,12 @@ measureTlb(core::Runner &runner, unsigned max_pages)
                                   cache::pf::kDisableAll);
     }
 
-    TlbCharacterization out;
-
-    // Capacities: the largest cyclic working set with (near-)zero
-    // misses at the respective level.
-    out.dtlbEntries = binarySearch(1, max_pages, [&](unsigned n) {
-        Probe p = probe(runner, n);
-        return p.stlbHits + p.walks < 0.01;
-    });
-    out.stlbEntries = binarySearch(out.dtlbEntries, max_pages,
-                                   [&](unsigned n) {
-                                       return probe(runner, n).walks <
-                                              0.01;
-                                   });
-
-    // Penalties: independent loads hide translation latency behind
-    // memory-level parallelism, so the penalty is measured with a
-    // *dependent* pointer chase around a ring of N lines -- once with
-    // one line per page (N translations) and once densely packed (few
-    // pages). The identical cache footprint cancels the cache-
-    // hierarchy contribution and isolates the translation penalty.
-    Addr base = runner.r14Area();
-    // Page-stride rings stagger the line offset within each page, so
-    // the ring spreads over all L1/L2 sets instead of colliding in one.
-    auto ring_addr = [&](unsigned i, Addr stride) {
-        Addr a = base + i * stride;
-        // Stagger by (i/8)%64 lines: decorrelated from the low page-
-        // number bits, so the ring spreads over all L1/L2 sets.
-        if (stride >= 4096)
-            a += ((i / 8) % 64) * 64;
-        return a;
-    };
-    auto chase_cycles = [&](unsigned n, Addr stride) {
-        std::vector<Instruction> init;
-        for (unsigned i = 0; i < n; ++i) {
-            Addr slot = ring_addr(i, stride);
-            Addr next = ring_addr((i + 1) % n, stride);
-            init.push_back(
-                ins_mov_imm(Reg::RBX, static_cast<std::int64_t>(next)));
-            init.push_back(ins_store_abs(slot, Reg::RBX));
-        }
-        core::BenchmarkSpec spec;
-        spec.init = std::move(init);
-        spec.asmCode = "mov R14, [R14]";
-        spec.unrollCount = 1;
-        spec.loopCount = 4 * n;
-        spec.warmUpCount = 2;
-        spec.nMeasurements = 3;
-        spec.agg = Aggregate::Median;
-        return runner.run(spec)["Core cycles"];
-    };
-    auto penalty_at = [&](unsigned n) {
-        return chase_cycles(n, 4096) - chase_cycles(n, 64);
-    };
-    // STLB penalty: a ring small enough that both variants stay L1-
-    // resident (pure translation difference); walk penalty: a ring
-    // past the STLB but still L2-resident in both variants.
-    unsigned stlb_n = std::min(6 * out.dtlbEntries,
-                               (out.dtlbEntries + out.stlbEntries) / 2);
-    if (out.stlbEntries > out.dtlbEntries)
-        out.stlbPenalty = penalty_at(stlb_n);
-    unsigned beyond = std::min(max_pages, out.stlbEntries + 512);
-    if (beyond > out.stlbEntries)
-        out.walkPenalty = penalty_at(beyond);
-    return out;
+    TlbPlan plan = planTlb(runner, max_pages);
+    std::vector<RunOutcome> outcomes;
+    outcomes.reserve(plan.specs.size());
+    for (const auto &spec : plan.specs)
+        outcomes.push_back(runSpecOnRunner(runner, spec));
+    return decodeTlb(plan, outcomes);
 }
 
 TlbCharacterization

@@ -19,6 +19,8 @@ parseAggregate(const std::string &name)
 {
     if (name == "min")
         return Aggregate::Minimum;
+    if (name == "max")
+        return Aggregate::Maximum;
     if (name == "med" || name == "median")
         return Aggregate::Median;
     if (name == "avg" || name == "trimmed")
@@ -26,7 +28,7 @@ parseAggregate(const std::string &name)
     if (name == "mean")
         return Aggregate::Mean;
     fatal("unknown aggregate function '", name,
-          "' (expected min, med, avg, or mean)");
+          "' (expected min, max, med, avg, or mean)");
 }
 
 std::string
@@ -35,6 +37,8 @@ aggregateName(Aggregate agg)
     switch (agg) {
       case Aggregate::Minimum:
         return "min";
+      case Aggregate::Maximum:
+        return "max";
       case Aggregate::Median:
         return "med";
       case Aggregate::TrimmedMean:
@@ -51,6 +55,8 @@ applyAggregate(Aggregate agg, std::vector<double> values)
     switch (agg) {
       case Aggregate::Minimum:
         return minimum(values);
+      case Aggregate::Maximum:
+        return maximum(values);
       case Aggregate::Median:
         return median(std::move(values));
       case Aggregate::TrimmedMean:
@@ -59,6 +65,13 @@ applyAggregate(Aggregate agg, std::vector<double> values)
         return mean(values);
     }
     panic("unreachable aggregate value");
+}
+
+double
+maximum(const std::vector<double> &values)
+{
+    NB_ASSERT(!values.empty(), "maximum of empty vector");
+    return *std::max_element(values.begin(), values.end());
 }
 
 double

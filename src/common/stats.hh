@@ -20,6 +20,10 @@ namespace nb
 enum class Aggregate
 {
     Minimum,
+    /** Maximum: the worst run. Not in the paper's default set; the
+     *  plan/decode policy-inference split pairs it with Minimum to
+     *  detect non-deterministic measurements. */
+    Maximum,
     Median,
     /** Arithmetic mean excluding the top and bottom 20% of the values. */
     TrimmedMean,
@@ -36,6 +40,9 @@ std::string aggregateName(Aggregate agg);
 
 /** Apply @p agg to @p values; values may arrive in any order. */
 double applyAggregate(Aggregate agg, std::vector<double> values);
+
+/** Maximum of a non-empty vector. */
+double maximum(const std::vector<double> &values);
 
 /** Minimum of a non-empty vector. */
 double minimum(const std::vector<double> &values);

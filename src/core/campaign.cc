@@ -214,6 +214,13 @@ parseSpecLines(const std::string &text,
                     entry.spec.noMem = true;
                 } else if (opt == "-aperf_mperf") {
                     entry.spec.aperfMperf = true;
+                } else if (opt == "-config") {
+                    // Per-line counter configs (§III-J): one campaign
+                    // can mix event sets. parseFile fatal()s on an
+                    // unreadable path; keep that per-line too.
+                    if (auto v = value())
+                        entry.spec.config =
+                            core::CounterConfig::parseFile(*v);
                 } else {
                     fail("unknown option '" + opt + "'");
                 }
@@ -467,15 +474,42 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
     std::atomic<bool> abort{false};
     std::exception_ptr failure;
 
+    // Fresh-machine mode reconstructs a machine per spec; resolve the
+    // uarch descriptor once, outside the workers.
+    const uarch::MicroArch &ua = uarch::getMicroArch(session_opt.uarch);
+
     auto worker = [&](unsigned w) {
         try {
-            SessionOptions opt = session_opt;
-            opt.replica = w;
-            Session session = this->session(opt);
+            // A pooled replica per worker in the default mode; in
+            // freshMachinePerSpec mode no pooled machine is used at
+            // all -- each spec gets a private, just-constructed one,
+            // so its outcome cannot depend on which worker ran it or
+            // which specs preceded it (layout invariance).
+            std::optional<Session> session;
+            if (!options.freshMachinePerSpec) {
+                SessionOptions opt = session_opt;
+                opt.replica = w;
+                session.emplace(this->session(opt));
+                if (options.machineSetup)
+                    options.machineSetup(session->runner());
+            }
             for (std::size_t u = w; u < unique_count; u += jobs) {
                 if (abort.load(std::memory_order_relaxed))
                     return;
-                unique_outcomes[u] = session.run(specs[uniqueIdx[u]]);
+                if (options.freshMachinePerSpec) {
+                    sim::Machine machine(ua, session_opt.seed);
+                    core::Runner runner(machine, session_opt.mode);
+                    if (options.machineSetup)
+                        options.machineSetup(runner);
+                    core::BenchmarkSpec resolved = specs[uniqueIdx[u]];
+                    if (resolved.config.empty())
+                        resolved.config = session_opt.config;
+                    unique_outcomes[u] =
+                        runSpecOnRunner(runner, std::move(resolved));
+                } else {
+                    unique_outcomes[u] =
+                        session->run(specs[uniqueIdx[u]]);
+                }
                 ++campaign.report.perWorkerSpecs[w];
                 std::lock_guard<std::mutex> lock(progress_mutex);
                 settled += multiplicity[u];

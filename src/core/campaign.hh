@@ -66,6 +66,34 @@ struct CampaignOptions
      *  overwritten with each worker's index. */
     SessionOptions session;
     /**
+     * Reset each worker's machine micro-state before every unique
+     * spec: instead of running on a pooled replica (whose simulated
+     * caches, predictors, and RNG carry the history of earlier specs),
+     * the worker constructs a fresh machine + runner pair per spec,
+     * applies machineSetup, runs the spec, and discards the machine.
+     *
+     * This makes every outcome a pure function of its spec: -jobs N
+     * results are bit-identical to -jobs 1 (and to any other layout),
+     * which is what the profile/table golden gates rely on. The cost
+     * is one full machine construction per unique spec (~2x a typical
+     * short campaign; more for campaigns of very cheap specs) --
+     * hence opt-in, default off.
+     */
+    bool freshMachinePerSpec = false;
+    /**
+     * Machine preparation hook, run on a worker's runner before it
+     * executes any spec (and, with freshMachinePerSpec, on every
+     * fresh machine before its spec). Campaign planners use this to
+     * reproduce the machine state their specs assume -- e.g. the
+     * profile builder reserves the R14 area its planned addresses
+     * point into and disables the hardware prefetchers. Invoked
+     * concurrently from worker threads, each on its own runner, so it
+     * must not touch shared mutable state; pooled workers may have
+     * run earlier campaigns, so the hook should be idempotent (e.g.
+     * only reserve an area if the current one is too small).
+     */
+    std::function<void(core::Runner &)> machineSetup;
+    /**
      * Called after each spec completes, with the number of input
      * specs settled so far (duplicates settle together with the
      * unique spec that covers them) and the total. Invoked from
@@ -145,7 +173,9 @@ struct SpecFileEntry
  *
  * supporting -asm, -asm_init, -unroll_count, -loop_count,
  * -n_measurements, -warm_up_count, -agg, -serialize, -basic_mode,
- * -no_mem, and -aperf_mperf. Each line's spec starts from
+ * -no_mem, -aperf_mperf, and -config FILE (a per-line counter-config
+ * file, so one campaign can mix event sets; an unreadable path
+ * reports as that line's error). Each line's spec starts from
  * @p defaults. Never throws for line-level problems: malformed lines
  * come back as entries with error set, in position.
  */

@@ -25,6 +25,7 @@
 #include "core/campaign.hh"
 #include "core/engine.hh"
 #include "uarch/uarch.hh"
+#include "profile/build.hh"
 #include "uops/table.hh"
 #include "x86/encoding.hh"
 
@@ -67,6 +68,17 @@ printUsage()
         "                       alone: load and print a table file\n"
         "  -table_diff <a> <b>  diff two table files (exit 1 when rows\n"
         "                       changed)\n"
+        "  -profile <file>      measure a full machine profile (cache\n"
+        "                       geometry/latency/policies, TLB, set-\n"
+        "                       dueling leaders, \u00a7VI) through one\n"
+        "                       campaign and write it there (JSON, or\n"
+        "                       CSV with -csv)\n"
+        "  -profile_diff <a> <b>  diff two profile files (exit 1 when\n"
+        "                       sections changed)\n"
+        "  -fresh_machine       reset machine micro-state before every\n"
+        "                       unique campaign spec: -jobs N output\n"
+        "                       becomes layout-invariant (~2x cost;\n"
+        "                       profiles default to this)\n"
         "  -no_dedup            run duplicate specs instead of sharing\n"
         "                       one cached result\n"
         "  -report <file>       write the campaign report (JSON, or CSV\n"
@@ -79,7 +91,8 @@ printUsage()
         "  -loop_count <n>      loop iterations (default 0 = no loop)\n"
         "  -n_measurements <n>  repetitions (default 10)\n"
         "  -warm_up_count <n>   discarded initial runs (default 2)\n"
-        "  -agg <min|med|avg>   aggregate function (default med)\n"
+        "  -agg <fn>            min | max | med | avg | mean\n"
+        "                       (default med)\n"
         "  -basic_mode          compare against localUnrollCount=0\n"
         "  -no_mem              keep counter values in registers\n"
         "  -serialize <mode>    none | cpuid | lfence (default lfence)\n"
@@ -127,11 +140,15 @@ main(int argc, char **argv)
     bool dedup = true;
     bool show_progress = false;
     bool characterize = false;
+    bool fresh_machine = false;
     std::string spec_file;
     std::string report_path;
     std::string table_path;
+    std::string profile_path;
     std::string diff_path_a;
     std::string diff_path_b;
+    std::string profile_diff_a;
+    std::string profile_diff_b;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -171,6 +188,13 @@ main(int argc, char **argv)
             } else if (arg == "-table_diff") {
                 diff_path_a = next();
                 diff_path_b = next();
+            } else if (arg == "-profile") {
+                profile_path = next();
+            } else if (arg == "-profile_diff") {
+                profile_diff_a = next();
+                profile_diff_b = next();
+            } else if (arg == "-fresh_machine") {
+                fresh_machine = true;
             } else if (arg == "-no_dedup") {
                 dedup = false;
             } else if (arg == "-report") {
@@ -222,6 +246,68 @@ main(int argc, char **argv)
             } else {
                 fatal("unknown option '", arg, "' (try --help)");
             }
+        }
+
+        // ------------- machine-profile verbs (§VI) --------------
+
+        if (!profile_diff_a.empty()) {
+            auto before = profile::MachineProfile::load(profile_diff_a);
+            auto after = profile::MachineProfile::load(profile_diff_b);
+            auto diff = profile::diffProfiles(before, after);
+            if (diff.empty()) {
+                std::cout << "profiles match (" << before.uarch << "/"
+                          << before.mode << ")\n";
+                return 0;
+            }
+            std::cout << diff.format();
+            std::cout << diff.entries.size() << " difference(s)\n";
+            return 1;
+        }
+
+        if (!profile_path.empty()) {
+            // Open the output file up front: an unwritable path must
+            // fail before the measurement campaign, not after.
+            std::ofstream profile_out(profile_path);
+            if (!profile_out)
+                fatal("cannot write profile file '", profile_path, "'");
+            std::ofstream report_out;
+            if (!report_path.empty() && report_path != "-") {
+                report_out.open(report_path);
+                if (!report_out)
+                    fatal("cannot write report file '", report_path,
+                          "'");
+            }
+            profile::ProfileOptions profile_opt;
+            profile_opt.session = session_opt;
+            profile_opt.jobs = jobs;
+            profile_opt.dedup = dedup;
+            // Profiles default to fresh machines (their specs assume
+            // just-booted state); -fresh_machine is a no-op here.
+            profile_opt.freshMachinePerSpec = true;
+            if (show_progress) {
+                profile_opt.progress = [](std::size_t done,
+                                          std::size_t total) {
+                    std::cerr << "\rprofile: " << done << "/" << total
+                              << (done == total ? "\n" : "");
+                };
+            }
+            Engine engine;
+            auto build = profile::buildMachineProfile(engine,
+                                                      profile_opt);
+            std::cout << build.profile.format();
+            profile_out << (format == OutputFormat::Csv
+                                ? build.profile.toCsv()
+                                : build.profile.toJson());
+            if (!report_path.empty()) {
+                std::string text = format == OutputFormat::Csv
+                                       ? build.report.toCsv()
+                                       : build.report.toJson();
+                if (report_path == "-")
+                    std::cerr << text;
+                else
+                    report_out << text;
+            }
+            return build.profile.complete() ? 0 : 1;
         }
 
         // ------------- instruction-table verbs (§V) -------------
@@ -276,6 +362,7 @@ main(int argc, char **argv)
             table_opt.session = session_opt;
             table_opt.jobs = jobs;
             table_opt.dedup = dedup;
+            table_opt.freshMachinePerSpec = fresh_machine;
             if (show_progress) {
                 table_opt.progress = [](std::size_t done,
                                         std::size_t total) {
@@ -360,7 +447,8 @@ main(int argc, char **argv)
         // (worker pool, dedup cache, report) kick in as soon as any
         // campaign option is used.
         bool campaign_mode = jobs != 1 || !dedup || show_progress ||
-                             !spec_file.empty() || !report_path.empty();
+                             fresh_machine || !spec_file.empty() ||
+                             !report_path.empty();
         if (campaign_mode) {
             // Open the report file up front: an unwritable path must
             // fail before hours of campaign work, not after.
@@ -375,6 +463,7 @@ main(int argc, char **argv)
             campaign_opt.jobs = jobs;
             campaign_opt.dedup = dedup;
             campaign_opt.session = session_opt;
+            campaign_opt.freshMachinePerSpec = fresh_machine;
             if (show_progress) {
                 campaign_opt.progress = [](std::size_t done,
                                            std::size_t total) {

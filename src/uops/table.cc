@@ -433,6 +433,7 @@ buildInstructionTable(Engine &engine, const TableBuildOptions &options)
     campaign_opt.jobs = options.jobs;
     campaign_opt.dedup = options.dedup;
     campaign_opt.session = options.session;
+    campaign_opt.freshMachinePerSpec = options.freshMachinePerSpec;
     campaign_opt.progress = options.progress;
     CampaignResult campaign =
         engine.runCampaign(Characterizer::planSpecs(plan), campaign_opt);

@@ -367,14 +367,22 @@ std::string
 operandTag(const Operand &op)
 {
     switch (op.kind) {
-      case OperandKind::Register:
+      case OperandKind::Register: {
         if (isVec(op.reg))
             return op.widthBits == 256 ? "Y" : "X";
-        return "R" + std::to_string(op.widthBits);
+        // Two appends, not operator+: GCC 12's -Wrestrict sees a
+        // false-positive overlap in the temporary at -O3.
+        std::string tag = "R";
+        tag += std::to_string(op.widthBits);
+        return tag;
+      }
       case OperandKind::Immediate:
         return "I";
-      case OperandKind::Memory:
-        return "M" + std::to_string(op.widthBits);
+      case OperandKind::Memory: {
+        std::string tag = "M";
+        tag += std::to_string(op.widthBits);
+        return tag;
+      }
       case OperandKind::None:
         return "N";
     }

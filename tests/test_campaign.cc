@@ -525,6 +525,158 @@ TEST(EngineStats, ResetStatsZeroesCountersWithoutTouchingPool)
     EXPECT_EQ(engine.machinesConstructed(), 0u);
 }
 
+TEST(SpecFile, PerLineCounterConfigs)
+{
+    // ROADMAP item: per-line -config files let one campaign mix event
+    // sets. A good path loads; dedup must keep lines with different
+    // configs apart.
+    core::BenchmarkSpec defaults;
+    std::string cfg =
+        std::string(core::configDir()) + "/cfg_Skylake.txt";
+    auto entries = parseSpecLines("-asm \"nop\" -config \"" + cfg +
+                                      "\"\n"
+                                      "nop\n",
+                                  defaults);
+    ASSERT_EQ(entries.size(), 2u);
+    ASSERT_FALSE(entries[0].error.has_value());
+    EXPECT_FALSE(entries[0].spec.config.empty());
+    EXPECT_TRUE(entries[1].spec.config.empty());
+    EXPECT_NE(specCanonicalKey(entries[0].spec),
+              specCanonicalKey(entries[1].spec));
+
+    // The configured events actually reach the results.
+    Engine engine;
+    CampaignOptions opt;
+    auto campaign = engine.runCampaign(
+        {entries[0].spec, entries[1].spec}, opt);
+    ASSERT_TRUE(campaign.outcomes[0].ok());
+    EXPECT_TRUE(campaign.outcomes[0]
+                    .result()
+                    .find("UOPS_ISSUED.ANY")
+                    .has_value());
+    ASSERT_TRUE(campaign.outcomes[1].ok());
+    EXPECT_FALSE(campaign.outcomes[1]
+                     .result()
+                     .find("UOPS_ISSUED.ANY")
+                     .has_value());
+}
+
+TEST(SpecFile, UnreadableConfigIsAPerLineError)
+{
+    core::BenchmarkSpec defaults;
+    auto entries = parseSpecLines(
+        "-asm \"nop\" -config /nonexistent/events.txt\n"
+        "-asm \"nop\" -config\n",
+        defaults);
+    ASSERT_EQ(entries.size(), 2u);
+    ASSERT_TRUE(entries[0].error.has_value());
+    EXPECT_EQ(entries[0].error->code, RunError::Code::InvalidSpec);
+    EXPECT_NE(entries[0].error->message.find("line 1"),
+              std::string::npos);
+    ASSERT_TRUE(entries[1].error.has_value());
+    EXPECT_NE(entries[1].error->message.find("missing value"),
+              std::string::npos);
+}
+
+// ------------------------------------------- fresh machines / setup --
+
+TEST(Campaign, MachineSetupRunsOncePerWorker)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 3;
+    std::atomic<unsigned> calls{0};
+    opt.machineSetup = [&](core::Runner &runner) {
+        EXPECT_EQ(runner.mode(), Mode::Kernel);
+        ++calls;
+    };
+    engine.runCampaign(countingSpecs(9), opt);
+    EXPECT_EQ(calls.load(), 3u);
+}
+
+TEST(Campaign, FreshMachineRunsSetupPerUniqueSpec)
+{
+    Engine engine;
+    CampaignOptions opt;
+    opt.jobs = 2;
+    opt.freshMachinePerSpec = true;
+    std::atomic<unsigned> calls{0};
+    opt.machineSetup = [&](core::Runner &) { ++calls; };
+    auto specs = countingSpecs(3);
+    specs.push_back(specs.front()); // duplicate: deduped, no machine
+    auto campaign = engine.runCampaign(specs, opt);
+    EXPECT_EQ(calls.load(), 3u);
+    EXPECT_EQ(campaign.report.cacheHits, 1u);
+    // No pooled machines were used at all.
+    EXPECT_EQ(engine.poolSize(), 0u);
+}
+
+TEST(Campaign, FreshMachineSpecsSeeTheSetUpMachine)
+{
+    // Specs planned against a prepared machine (here: an enlarged R14
+    // area) only run if the setup hook reproduces that state on the
+    // campaign's fresh machines -- exactly the profile builder's
+    // contract.
+    constexpr Addr kArea = 4 * 1024 * 1024;
+    Addr probe_addr = 0;
+    {
+        sim::Machine machine(uarch::getMicroArch("Skylake"), 42);
+        core::Runner runner(machine, Mode::Kernel);
+        ASSERT_TRUE(runner.reserveR14Area(kArea));
+        probe_addr = runner.r14Area() + kArea - 64;
+    }
+    BenchmarkSpec spec;
+    spec.asmCode =
+        "mov RBX, [" + std::to_string(probe_addr) + "]";
+
+    Engine engine;
+    CampaignOptions opt;
+    opt.freshMachinePerSpec = true;
+    auto without = engine.runCampaign({spec}, opt);
+    EXPECT_FALSE(without.outcomes[0].ok()); // page fault
+
+    opt.machineSetup = [&](core::Runner &runner) {
+        if (runner.r14AreaSize() < kArea) {
+            ASSERT_TRUE(runner.reserveR14Area(kArea));
+        }
+    };
+    auto with = engine.runCampaign({spec}, opt);
+    EXPECT_TRUE(with.outcomes[0].ok());
+}
+
+TEST(Campaign, FreshMachineMakesJobsLayoutInvariant)
+{
+    // The pointer-chase timing of a spec depends on machine history
+    // (caches, predictors); with freshMachinePerSpec every outcome is
+    // a pure function of its spec, so any worker count produces
+    // bit-identical results.
+    std::vector<BenchmarkSpec> specs;
+    for (unsigned i = 0; i < 6; ++i) {
+        BenchmarkSpec spec;
+        spec.asmInit = "mov [R14], R14";
+        spec.asmCode = "mov R14, [R14]";
+        spec.unrollCount = 10 + i;
+        specs.push_back(spec);
+    }
+    auto run = [&](unsigned jobs) {
+        Engine engine;
+        CampaignOptions opt;
+        opt.jobs = jobs;
+        opt.freshMachinePerSpec = true;
+        return engine.runCampaign(specs, opt);
+    };
+    auto one = run(1);
+    auto three = run(3);
+    ASSERT_EQ(one.outcomes.size(), three.outcomes.size());
+    for (std::size_t i = 0; i < one.outcomes.size(); ++i) {
+        ASSERT_TRUE(one.outcomes[i].ok());
+        ASSERT_TRUE(three.outcomes[i].ok());
+        EXPECT_EQ(one.outcomes[i].result().toCsv(),
+                  three.outcomes[i].result().toCsv())
+            << i;
+    }
+}
+
 TEST(EngineStats, LifetimeCountersSurviveClearPool)
 {
     // Documented semantics: clearPool() drops machines but keeps the

@@ -26,10 +26,17 @@ Checked ratios:
   table_dedup_vs_nodedup  BM_TableCampaign/1 / BM_TableNoDedup
                           (the shared throughput/port specs executing
                           once instead of twice)
+  profile_jobs4_vs_serial BM_ProfileCampaign/4 / BM_ProfileSerial
+                          (machine-profile construction through the
+                          campaign executor -- fresh machine per spec,
+                          so layout-invariant -- vs the serial
+                          plan-order run on one machine; regresses if
+                          the profile workload stops scaling or the
+                          per-spec machine construction gets dearer)
 
 Usage:
   check_bench.py --baseline bench/BENCH_baseline.json \
-      --out BENCH_ci.json simperf.json campaign.json table.json
+      --out BENCH_ci.json simperf.json campaign.json table.json profile.json
 """
 
 import argparse
@@ -45,6 +52,7 @@ RATIOS = {
     "dedup_vs_nodedup": ("BM_CampaignDedup/dedup:1", "BM_CampaignDedup/dedup:0"),
     "table_jobs4_vs_serial": ("BM_TableCampaign/4", "BM_TableSerial"),
     "table_dedup_vs_nodedup": ("BM_TableCampaign/1", "BM_TableNoDedup"),
+    "profile_jobs4_vs_serial": ("BM_ProfileCampaign/4", "BM_ProfileSerial"),
 }
 
 
