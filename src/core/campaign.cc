@@ -26,46 +26,12 @@
 #include "core/json.hh"
 #include "core/result.hh"
 #include "uarch/uarch.hh"
-#include "x86/encoding.hh"
 
 namespace nb
 {
 
 namespace
 {
-
-/** Append a length-prefixed field to a canonical key (unambiguous
- *  even if the payload contains the separator). */
-void
-appendField(std::string &key, const std::string &payload)
-{
-    key += std::to_string(payload.size());
-    key += ':';
-    key += payload;
-    key += '\x1f';
-}
-
-void
-appendField(std::string &key, std::uint64_t value)
-{
-    appendField(key, std::to_string(value));
-}
-
-std::string
-encodeHex(const std::vector<x86::Instruction> &code)
-{
-    static const char digits[] = "0123456789abcdef";
-    std::string out;
-    if (code.empty())
-        return out;
-    auto bytes = x86::encode(code);
-    out.reserve(bytes.size() * 2);
-    for (std::uint8_t b : bytes) {
-        out += digits[b >> 4];
-        out += digits[b & 0xF];
-    }
-    return out;
-}
 
 /** Split a spec-file line into tokens, honouring double quotes
  *  ("add RAX, RBX" is one token, quotes stripped). Returns nullopt
@@ -233,45 +199,6 @@ parseSpecLines(const std::string &text,
         entries.push_back(std::move(entry));
     }
     return entries;
-}
-
-std::string
-specCanonicalKey(const core::BenchmarkSpec &spec)
-{
-    std::string key;
-    appendField(key, spec.asmCode);
-    appendField(key, spec.asmInit);
-    appendField(key, encodeHex(spec.code));
-    appendField(key, encodeHex(spec.init));
-    appendField(key, spec.unrollCount);
-    appendField(key, spec.loopCount);
-    appendField(key, spec.nMeasurements);
-    appendField(key, spec.warmUpCount);
-    appendField(key, static_cast<std::uint64_t>(spec.agg));
-    appendField(key, static_cast<std::uint64_t>(spec.basicMode));
-    appendField(key, static_cast<std::uint64_t>(spec.noMem));
-    appendField(key, static_cast<std::uint64_t>(spec.serialize));
-    appendField(key, static_cast<std::uint64_t>(spec.fixedCounters));
-    appendField(key, static_cast<std::uint64_t>(spec.aperfMperf));
-    for (const auto &event : spec.config.events()) {
-        appendField(key, event.code.evsel);
-        appendField(key, event.code.umask);
-        appendField(key, static_cast<std::uint64_t>(event.id));
-        appendField(key, event.displayName);
-    }
-    return key;
-}
-
-std::uint64_t
-specHash(const core::BenchmarkSpec &spec)
-{
-    // FNV-1a, 64 bit.
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    for (unsigned char c : specCanonicalKey(spec)) {
-        hash ^= c;
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
 }
 
 // ------------------------------------------------------------ report --

@@ -186,12 +186,12 @@ std::vector<SpecFileEntry> parseSpecLines(
  * Canonical text key of a spec: two specs compare equal (for campaign
  * dedup) iff their keys are equal. Covers every BenchmarkSpec field,
  * including pre-assembled code (by its encoding) and the counter
- * config.
+ * config. Lives at the spec level (core/runner.hh) since the Runner's
+ * measurement-program cache keys on it too; re-exported here for the
+ * campaign-facing callers. specHash is its stable FNV-1a hash.
  */
-std::string specCanonicalKey(const core::BenchmarkSpec &spec);
-
-/** FNV-1a hash of specCanonicalKey() (stable across runs). */
-std::uint64_t specHash(const core::BenchmarkSpec &spec);
+using core::specCanonicalKey;
+using core::specHash;
 
 } // namespace nb
 

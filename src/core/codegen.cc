@@ -164,20 +164,32 @@ emitReadout(std::vector<Instruction> &out, const GenParams &p,
     emitFence(out, p.serialize);
 }
 
-} // namespace
-
-std::vector<Instruction>
-generateMeasurementCode(const GenParams &p)
+void
+checkGenParams(const GenParams &p)
 {
     NB_ASSERT(!p.noMem || p.readouts.size() <= maxNoMemReadouts(),
               "too many readout items for noMem mode (max ",
               maxNoMemReadouts(), ")");
     NB_ASSERT(p.noMem || p.resultBase != 0,
               "memory-mode codegen needs a results area");
+}
 
+/** Whether the generated code wraps the body in the R15 loop. */
+bool
+hasLoop(const GenParams &p)
+{
+    return p.loopCount > 0 && p.localUnrollCount > 0;
+}
+
+/**
+ * Everything before the body copies: init (line 3 of Algorithm 1),
+ * the noMem accumulator zeroing, the m1 readout (line 4), and -- when
+ * looping -- the loop-counter setup.
+ */
+std::vector<Instruction>
+emitPreamble(const GenParams &p)
+{
     std::vector<Instruction> out;
-
-    // Line 3 of Algorithm 1: initialization part (not measured).
     out.insert(out.end(), p.init.begin(), p.init.end());
 
     // noMem: zero the accumulators before the first read.
@@ -190,13 +202,55 @@ generateMeasurementCode(const GenParams &p)
         }
     }
 
-    // Line 4: m1 <- readPerfCtrs.
     emitReadout(out, p, false);
+
+    if (hasLoop(p)) {
+        out.push_back(makeInsn(
+            Opcode::MOV,
+            {Operand::makeReg(Reg::R15),
+             Operand::makeImm(static_cast<std::int64_t>(p.loopCount))}));
+    }
+    return out;
+}
+
+/** The loop tail: decrement R15, jump back to the first body copy
+ *  (the target is an absolute index into the full sequence). */
+std::vector<Instruction>
+emitLoopTail(std::uint64_t loop_head)
+{
+    std::vector<Instruction> out;
+    out.push_back(makeInsn(Opcode::DEC, {Operand::makeReg(Reg::R15)}));
+    Instruction jnz = makeInsn(Opcode::JNZ);
+    jnz.targetIdx = static_cast<std::int32_t>(loop_head);
+    out.push_back(jnz);
+    return out;
+}
+
+/** The m2 readout (line 10 of Algorithm 1). */
+std::vector<Instruction>
+emitPostamble(const GenParams &p)
+{
+    std::vector<Instruction> out;
+    emitReadout(out, p, true);
+    return out;
+}
+
+} // namespace
+
+std::vector<Instruction>
+generateMeasurementCode(const GenParams &p)
+{
+    checkGenParams(p);
+
+    std::vector<Instruction> out = emitPreamble(p);
 
     // Lines 5-9: the (possibly looped) unrolled body. Body-internal
     // branch targets are indices relative to the body start and are
-    // relocated for each unrolled copy.
-    auto append_body_copy = [&out, &p] {
+    // relocated for each unrolled copy. localUnrollCount = 0 (basic
+    // mode): no instructions at all between the two readouts, not
+    // even the loop (§III-C).
+    std::size_t loop_head = out.size();
+    for (std::uint64_t u = 0; u < p.localUnrollCount; ++u) {
         std::size_t copy_start = out.size();
         for (const Instruction &insn : p.body) {
             Instruction relocated = insn;
@@ -206,30 +260,53 @@ generateMeasurementCode(const GenParams &p)
             }
             out.push_back(std::move(relocated));
         }
-    };
-
-    // localUnrollCount = 0 (basic mode): no instructions at all between
-    // the two readouts, not even the loop (§III-C).
-    if (p.loopCount > 0 && p.localUnrollCount > 0) {
-        out.push_back(makeInsn(
-            Opcode::MOV,
-            {Operand::makeReg(Reg::R15),
-             Operand::makeImm(static_cast<std::int64_t>(p.loopCount))}));
-        std::size_t loop_head = out.size();
-        for (std::uint64_t u = 0; u < p.localUnrollCount; ++u)
-            append_body_copy();
-        out.push_back(makeInsn(Opcode::DEC, {Operand::makeReg(Reg::R15)}));
-        Instruction jnz = makeInsn(Opcode::JNZ);
-        jnz.targetIdx = static_cast<std::int32_t>(loop_head);
-        out.push_back(jnz);
-    } else {
-        for (std::uint64_t u = 0; u < p.localUnrollCount; ++u)
-            append_body_copy();
+    }
+    if (hasLoop(p)) {
+        auto tail = emitLoopTail(loop_head);
+        out.insert(out.end(), tail.begin(), tail.end());
     }
 
-    // Line 10: m2 <- readPerfCtrs.
-    emitReadout(out, p, true);
+    auto post = emitPostamble(p);
+    out.insert(out.end(), post.begin(), post.end());
     return out;
+}
+
+sim::Program
+buildMeasurementProgram(const GenParams &p, const uarch::MicroArch &ua)
+{
+    checkGenParams(p);
+
+    std::vector<sim::Program::Segment> segments;
+    segments.reserve(4);
+
+    sim::Program::Segment pre;
+    pre.code = emitPreamble(p);
+    std::uint64_t loop_head = pre.code.size();
+    segments.push_back(std::move(pre));
+
+    if (p.localUnrollCount > 0) {
+        // The whole point: the body is decoded once and repeated,
+        // instead of being copied localUnrollCount times. Body-
+        // internal branch targets stay pattern-relative; the executor
+        // rebases them per copy.
+        sim::Program::Segment body;
+        body.code = p.body;
+        body.repeat = p.localUnrollCount;
+        segments.push_back(std::move(body));
+
+        if (p.loopCount > 0) {
+            sim::Program::Segment tail;
+            tail.code = emitLoopTail(loop_head);
+            tail.absoluteTargets = true; // back edge into the body block
+            segments.push_back(std::move(tail));
+        }
+    }
+
+    sim::Program::Segment post;
+    post.code = emitPostamble(p);
+    segments.push_back(std::move(post));
+
+    return sim::Program::decode(ua, std::move(segments));
 }
 
 } // namespace nb::core

@@ -36,6 +36,7 @@
 
 #include "common/types.hh"
 #include "core/config.hh"
+#include "sim/program.hh"
 #include "x86/instruction.hh"
 
 namespace nb::core
@@ -100,12 +101,28 @@ const std::vector<x86::Reg> &noMemAccumulators();
 unsigned maxNoMemReadouts();
 
 /**
- * Generate the full measurement function per Algorithm 1.
+ * Generate the full measurement function per Algorithm 1 as a
+ * materialized instruction vector (localUnrollCount copies of the
+ * body, branch targets relocated per copy).
  *
  * The loop counter register is R15 (the body must not modify it when
  * loopCount > 0, as documented in §III-B).
  */
 std::vector<x86::Instruction> generateMeasurementCode(const GenParams &p);
+
+/**
+ * Build the same measurement function as a predecoded, repeat-encoded
+ * sim::Program: the body is decoded ONCE and iterated
+ * localUnrollCount times instead of being copied, and every static
+ * per-instruction fact is resolved up front. Executing the program is
+ * bit-identical to executing generateMeasurementCode(p) -- same
+ * virtual instruction indices, same counter values -- but building it
+ * is O(|body|) instead of O(unroll x |body|), and it can be cached
+ * and reused across all warm-up and measurement runs of a round
+ * (Runner::programCacheStats()).
+ */
+sim::Program buildMeasurementProgram(const GenParams &p,
+                                     const uarch::MicroArch &ua);
 
 } // namespace nb::core
 

@@ -5,11 +5,84 @@
 
 #include "engine.hh"
 
+#include <unordered_map>
+
 #include "uarch/uarch.hh"
 #include "x86/assembler.hh"
 
 namespace nb
 {
+
+namespace
+{
+
+/** The session-layer assembly memo behind assembleCacheStats().
+ *  Values are shared_ptr so a hit only bumps a refcount under the
+ *  mutex; the deep copy the caller needs happens outside it. */
+struct AssembleCache
+{
+    std::mutex mutex;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const std::vector<x86::Instruction>>>
+        map;
+    AssembleCacheStats stats;
+};
+
+AssembleCache &
+assembleCache()
+{
+    static AssembleCache cache;
+    return cache;
+}
+
+/**
+ * x86::assemble, memoized: each distinct source text is parsed once
+ * per process. Only successful parses are cached; syntax errors
+ * propagate (they abort the spec anyway, so re-parsing a bad text is
+ * the rare path). Thread-safe -- campaign workers assemble
+ * concurrently, and neither the parse nor the copy-out holds the
+ * cache mutex.
+ */
+std::vector<x86::Instruction>
+assembleMemoized(const std::string &source)
+{
+    AssembleCache &cache = assembleCache();
+    std::shared_ptr<const std::vector<x86::Instruction>> cached;
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        auto it = cache.map.find(source);
+        if (it != cache.map.end()) {
+            ++cache.stats.hits;
+            cached = it->second;
+        }
+    }
+    if (cached)
+        return *cached;
+    // Parse outside the lock: assembly is the expensive part.
+    auto code = std::make_shared<const std::vector<x86::Instruction>>(
+        x86::assemble(source));
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        ++cache.stats.misses;
+        if (cache.map.size() >= 4096) {
+            // Crude bound; entries are one rebuild away. Holders of
+            // dropped entries keep them alive via their shared_ptr.
+            cache.map.clear();
+        }
+        cache.map.emplace(source, code);
+    }
+    return *code;
+}
+
+} // namespace
+
+AssembleCacheStats
+assembleCacheStats()
+{
+    AssembleCache &cache = assembleCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return cache.stats;
+}
 
 const char *
 runErrorCodeName(RunError::Code code)
@@ -86,14 +159,14 @@ runSpecOnRunner(core::Runner &runner, core::BenchmarkSpec spec)
                             "empty benchmark body"};
         }
         try {
-            spec.code = x86::assemble(spec.asmCode);
+            spec.code = assembleMemoized(spec.asmCode);
         } catch (const FatalError &e) {
             return RunError{RunError::Code::AssemblyError, e.what()};
         }
     }
     if (spec.init.empty() && !spec.asmInit.empty()) {
         try {
-            spec.init = x86::assemble(spec.asmInit);
+            spec.init = assembleMemoized(spec.asmInit);
         } catch (const FatalError &e) {
             return RunError{RunError::Code::AssemblyError, e.what()};
         }

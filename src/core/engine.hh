@@ -94,6 +94,21 @@ std::optional<RunError::Code> runErrorCodeFromName(
 class RunOutcome;
 
 /**
+ * Counters of the session-layer assembly memo: runSpecOnRunner()
+ * parses each distinct asm text once per process and serves repeats
+ * from a cache (campaign warm-ups, repeated specs, and profile
+ * re-runs stop re-parsing). Monotonic and process-wide; thread-safe.
+ */
+struct AssembleCacheStats
+{
+    std::uint64_t hits = 0;   ///< texts served from the memo
+    std::uint64_t misses = 0; ///< texts parsed (successfully)
+};
+
+/** Current counters of the assembly memo. */
+AssembleCacheStats assembleCacheStats();
+
+/**
  * Run one spec on a bare Runner with Session::run() semantics:
  * assembly problems, invalid parameters (validateSpec), and execution
  * failures come back as RunError outcomes instead of unwinding. This

@@ -11,12 +11,90 @@
 
 #include "common/logging.hh"
 #include "x86/assembler.hh"
+#include "x86/encoding.hh"
 
 namespace nb::core
 {
 
 using x86::Instruction;
 using x86::Reg;
+
+namespace
+{
+
+/** Append a length-prefixed field to a canonical key (unambiguous
+ *  even if the payload contains the separator). */
+void
+appendField(std::string &key, const std::string &payload)
+{
+    key += std::to_string(payload.size());
+    key += ':';
+    key += payload;
+    key += '\x1f';
+}
+
+void
+appendField(std::string &key, std::uint64_t value)
+{
+    appendField(key, std::to_string(value));
+}
+
+std::string
+encodeHex(const std::vector<Instruction> &code)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    if (code.empty())
+        return out;
+    auto bytes = x86::encode(code);
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out += digits[b >> 4];
+        out += digits[b & 0xF];
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+specCanonicalKey(const BenchmarkSpec &spec)
+{
+    std::string key;
+    appendField(key, spec.asmCode);
+    appendField(key, spec.asmInit);
+    appendField(key, encodeHex(spec.code));
+    appendField(key, encodeHex(spec.init));
+    appendField(key, spec.unrollCount);
+    appendField(key, spec.loopCount);
+    appendField(key, spec.nMeasurements);
+    appendField(key, spec.warmUpCount);
+    appendField(key, static_cast<std::uint64_t>(spec.agg));
+    appendField(key, static_cast<std::uint64_t>(spec.basicMode));
+    appendField(key, static_cast<std::uint64_t>(spec.noMem));
+    appendField(key, static_cast<std::uint64_t>(spec.serialize));
+    appendField(key, static_cast<std::uint64_t>(spec.fixedCounters));
+    appendField(key, static_cast<std::uint64_t>(spec.aperfMperf));
+    for (const auto &event : spec.config.events()) {
+        appendField(key, event.code.evsel);
+        appendField(key, event.code.umask);
+        appendField(key, static_cast<std::uint64_t>(event.id));
+        appendField(key, event.displayName);
+    }
+    return key;
+}
+
+std::uint64_t
+specHash(const BenchmarkSpec &spec)
+{
+    // FNV-1a, 64 bit.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : specCanonicalKey(spec)) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
 
 const char *
 modeName(Mode mode)
@@ -134,22 +212,52 @@ Runner::userModeProgrammingOverhead()
 {
     // Programming counters from user space goes through the perf
     // subsystem: model the syscall + kernel path as a few thousand
-    // simulated instructions of unmeasured work.
-    static const std::vector<Instruction> syscall_code = [] {
-        std::vector<Instruction> code;
-        code.reserve(4000);
-        for (int i = 0; i < 4000; ++i)
-            code.push_back(x86::assemble("nop")[0]);
-        return code;
-    }();
-    machine_.execute(syscall_code);
+    // simulated instructions of unmeasured work. One NOP, decoded
+    // once and repeat-encoded 4000 times -- the legacy path executed
+    // a materialized 4000-element NOP vector on every counter-
+    // programming round.
+    if (!syscallProgram_) {
+        std::vector<sim::Program::Segment> segments(1);
+        segments[0].code = x86::assemble("nop");
+        segments[0].repeat = 4000;
+        syscallProgram_ = sim::Program::decode(machine_.uarch(),
+                                               std::move(segments));
+    }
+    machine_.execute(*syscallProgram_);
+}
+
+const sim::Program &
+Runner::measurementProgram(const std::string &spec_key,
+                           std::size_t round, const GenParams &params)
+{
+    // Bound the cache: campaigns stream thousands of unique specs
+    // through one pooled runner, and a stale program is only a
+    // rebuild away.
+    constexpr std::size_t kProgramCacheCap = 1024;
+
+    std::string key = spec_key;
+    key += '\x1F';
+    key += std::to_string(round);
+    key += ':';
+    key += std::to_string(params.localUnrollCount);
+
+    auto it = programCache_.find(key);
+    if (it != programCache_.end()) {
+        ++progStats_.hits;
+        return it->second;
+    }
+    if (programCache_.size() >= kProgramCacheCap)
+        programCache_.clear();
+    ++progStats_.builds;
+    auto [pos, inserted] = programCache_.emplace(
+        std::move(key),
+        buildMeasurementProgram(params, machine_.uarch()));
+    return pos->second;
 }
 
 std::vector<double>
-Runner::executeOnce(const GenParams &params)
+Runner::executeOnce(const sim::Program &prog, const GenParams &params)
 {
-    auto code = generateMeasurementCode(params);
-
     // Algorithm 1, lines 2/11: save and restore all registers.
     sim::ArchState saved = machine_.arch();
     initRegisters();
@@ -164,7 +272,7 @@ Runner::executeOnce(const GenParams &params)
 
     machine_.pmu().beginEpoch();
     machine_.pmu().setPaused(false);
-    machine_.execute(code);
+    machine_.execute(prog);
 
     // Collect raw m2-m1 values.
     std::vector<double> raw(params.readouts.size(), 0.0);
@@ -239,8 +347,14 @@ Runner::run(const BenchmarkSpec &spec)
     std::uint64_t normalization =
         std::max<std::uint64_t>(1, spec.loopCount) * spec.unrollCount;
 
+    // Program-cache key prefix: one canonical key per spec, computed
+    // once per run (a repeated spec reuses its cached programs).
+    std::string spec_key = specCanonicalKey(spec);
+
     bool first_round = true;
-    for (const auto &round : rounds) {
+    for (std::size_t round_idx = 0; round_idx < rounds.size();
+         ++round_idx) {
+        const auto &round = rounds[round_idx];
         // Program the counters for this round.
         for (unsigned i = 0; i < pmu.numProg(); ++i)
             pmu.disableProg(i);
@@ -276,11 +390,16 @@ Runner::run(const BenchmarkSpec &spec)
         std::vector<std::vector<double>> agg_ab;
         for (std::uint64_t local_unroll : {unroll_a, unroll_b}) {
             params.localUnrollCount = local_unroll;
+            // Built once per (round, unroll-version) and shared by
+            // every warm-up and measurement iteration below; repeated
+            // specs skip even that one build.
+            const sim::Program &prog =
+                measurementProgram(spec_key, round_idx, params);
             // Algorithm 2: warm-up runs are executed but discarded.
             std::vector<std::vector<double>> measurements(items.size());
             for (int i = -static_cast<int>(spec.warmUpCount);
                  i < static_cast<int>(spec.nMeasurements); ++i) {
-                auto raw = executeOnce(params);
+                auto raw = executeOnce(prog, params);
                 if (i >= 0) {
                     for (std::size_t k = 0; k < raw.size(); ++k)
                         measurements[k].push_back(raw[k]);

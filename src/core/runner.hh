@@ -24,6 +24,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -110,6 +111,31 @@ struct SpecIssue
 std::optional<SpecIssue> validateSpec(const BenchmarkSpec &spec,
                                       Mode mode);
 
+/**
+ * Canonical text key of a spec: two specs compare equal iff their
+ * keys are equal. Covers every BenchmarkSpec field, including
+ * pre-assembled code (by its encoding) and the counter config. Used
+ * by campaign dedup and the Runner's measurement-program cache.
+ */
+std::string specCanonicalKey(const BenchmarkSpec &spec);
+
+/** FNV-1a hash of specCanonicalKey() (stable across runs). */
+std::uint64_t specHash(const BenchmarkSpec &spec);
+
+/**
+ * Hit/build counters of a Runner's measurement-program cache (exposed
+ * like the Engine pool stats). One build per (round, unroll-version)
+ * per unique spec is the expected steady state; builds growing with
+ * nMeasurements would mean the codegen hoisting regressed.
+ */
+struct ProgramCacheStats
+{
+    /** Measurement programs decoded (cache misses). */
+    std::uint64_t builds = 0;
+    /** Measurement programs served from the cache. */
+    std::uint64_t hits = 0;
+};
+
 /** The benchmark runner; owns the memory-area setup for one machine. */
 class Runner
 {
@@ -143,6 +169,14 @@ class Runner
      *  §III-K execution-time experiment). */
     Cycles lastRunCycles() const { return lastRunCycles_; }
 
+    /** Measurement-program cache counters (see ProgramCacheStats). */
+    const ProgramCacheStats &programCacheStats() const
+    {
+        return progStats_;
+    }
+    /** Zero the cache counters (the cache itself is kept). */
+    void resetProgramCacheStats() { progStats_ = {}; }
+
   private:
     void setupMemoryAreas();
     void initRegisters();
@@ -150,8 +184,21 @@ class Runner
      *  mode. */
     void userModeProgrammingOverhead();
 
-    /** Raw m2-m1 values for one generated-code execution. */
-    std::vector<double> executeOnce(const GenParams &params);
+    /**
+     * The predecoded measurement program for one (spec, round,
+     * unroll-version), built on first use and cached: all warm-up and
+     * measurement iterations share one program, and a repeated spec
+     * skips regeneration entirely. @p spec_key is the canonical spec
+     * key; @p round the counter-round index; the unroll version comes
+     * from @p params.localUnrollCount.
+     */
+    const sim::Program &measurementProgram(const std::string &spec_key,
+                                           std::size_t round,
+                                           const GenParams &params);
+
+    /** Raw m2-m1 values for one measurement-program execution. */
+    std::vector<double> executeOnce(const sim::Program &prog,
+                                    const GenParams &params);
 
     sim::Machine &machine_;
     Mode mode_;
@@ -164,6 +211,13 @@ class Runner
     Addr resultBase_ = 0;
     Addr r14Size_ = 0;
     Cycles lastRunCycles_ = 0;
+
+    /** Measurement programs keyed on (spec key, round, localUnroll). */
+    std::unordered_map<std::string, sim::Program> programCache_;
+    ProgramCacheStats progStats_;
+    /** Predecoded user-mode counter-programming overhead (a repeat-
+     *  encoded NOP block), built on first use. */
+    std::optional<sim::Program> syscallProgram_;
 };
 
 } // namespace nb::core

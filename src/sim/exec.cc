@@ -26,48 +26,6 @@ using x86::Reg;
 namespace
 {
 
-/** Does the instruction read its destination operand (operand 0)? */
-bool
-destIsRead(Opcode op)
-{
-    switch (op) {
-      case Opcode::MOV:
-      case Opcode::MOVZX:
-      case Opcode::MOVSX:
-      case Opcode::MOVNTI:
-      case Opcode::LEA:
-      case Opcode::SETZ:
-      case Opcode::SETNZ:
-      case Opcode::POPCNT:
-      case Opcode::LZCNT:
-      case Opcode::TZCNT:
-      case Opcode::BSF:
-      case Opcode::BSR:
-      case Opcode::MOVAPS:
-      case Opcode::MOVUPS:
-      case Opcode::VADDPS:
-      case Opcode::VMULPS:
-      case Opcode::POP:
-        return false;
-      default:
-        return true;
-    }
-}
-
-/** Zero idiom: XOR/SUB/PXOR of a register with itself breaks the
- *  dependency on the old value (as on real Intel/AMD cores). */
-bool
-isZeroIdiom(const Instruction &insn)
-{
-    if (insn.opcode != Opcode::XOR && insn.opcode != Opcode::SUB &&
-        insn.opcode != Opcode::PXOR)
-        return false;
-    return insn.operands.size() == 2 &&
-           insn.operands[0].kind == OperandKind::Register &&
-           insn.operands[1].kind == OperandKind::Register &&
-           insn.operands[0].reg == insn.operands[1].reg;
-}
-
 float
 asFloat(std::uint32_t bits_)
 {
@@ -143,16 +101,13 @@ signBit(unsigned width_bits)
 } // namespace
 
 void
-Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
+Machine::executeInstr(const DecodedInsn &d, ExecContext &ctx)
 {
-    requirePrivilege(insn);
+    const Program &prog = *ctx.program;
+    const Instruction &insn = prog.insn(d);
 
-    const x86::OpcodeInfo &info = insn.info();
-    const uarch::PortFamily family = uarch_.family;
-    if (!uarch::supportsOpcode(family, insn.opcode)) {
-        fatal("invalid opcode: ", info.mnemonic, " is not supported on ",
-              uarch_.name);
-    }
+    if (d.privileged)
+        requirePrivilege(insn);
 
     // ---------------------------------------------------------------
     // Magic markers: pause/resume counting (§III-I). Acts like a light
@@ -167,52 +122,40 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
         return;
     }
 
-    const Operand *mem_op = insn.memOperand();
-    bool has_load = insn.isLoad();
-    bool has_store = insn.isStore();
+    const Operand *mem_op =
+        d.memOpIdx >= 0 ? &insn.operands[d.memOpIdx] : nullptr;
+    bool has_load = d.hasLoad;
+    bool has_store = d.hasStore;
+
+    // Pattern-relative branch targets resolve against the current
+    // copy's virtual base (see program.hh).
+    auto resolve_target = [&]() -> std::uint64_t {
+        std::uint64_t t = static_cast<std::uint64_t>(d.target);
+        return d.targetAbsolute ? t : ctx.copyBase + t;
+    };
 
     // ---------------------------------------------------------------
-    // Source readiness (timing).
+    // Source readiness (timing): the registers to wait on were
+    // classified at decode time.
     // ---------------------------------------------------------------
     Cycles src_ready = 0;
-    auto use_reg = [&](Reg r) {
-        src_ready = std::max(
-            src_ready, sched_.regReady[static_cast<unsigned>(r)]);
-    };
-    bool zero_idiom = isZeroIdiom(insn);
-    if (!zero_idiom) {
-        for (std::size_t i = 0; i < insn.operands.size(); ++i) {
-            const Operand &op = insn.operands[i];
-            if (op.kind != OperandKind::Register)
-                continue;
-            bool is_dest = i == 0 && insn.opcode != Opcode::CMP &&
-                           insn.opcode != Opcode::TEST &&
-                           insn.opcode != Opcode::BT &&
-                           insn.opcode != Opcode::PUSH;
-            if (!is_dest || destIsRead(insn.opcode))
-                use_reg(op.reg);
+    if (!d.zeroIdiom) {
+        const Reg *src = prog.srcRegs(d);
+        for (unsigned i = 0; i < d.srcCount; ++i) {
+            src_ready = std::max(
+                src_ready,
+                sched_.regReady[static_cast<unsigned>(src[i])]);
         }
-        for (Reg r : info.implicitReads)
-            use_reg(r);
-        if (info.readsFlags)
+        if (d.readsFlags)
             src_ready = std::max(src_ready, sched_.flagsReady);
     }
 
     Cycles addr_ready = 0;
-    if (mem_op) {
-        auto reg_ready = [&](Reg r) {
-            return r == Reg::Invalid
-                       ? Cycles{0}
-                       : sched_.regReady[static_cast<unsigned>(r)];
-        };
-        addr_ready = std::max(reg_ready(mem_op->mem.base),
-                              reg_ready(mem_op->mem.index));
-    }
-    if (insn.opcode == Opcode::PUSH || insn.opcode == Opcode::POP ||
-        insn.opcode == Opcode::CALL || insn.opcode == Opcode::RET) {
+    const Reg *addr = prog.addrRegs(d);
+    for (unsigned i = 0; i < d.addrCount; ++i) {
         addr_ready = std::max(
             addr_ready,
-            sched_.regReady[static_cast<unsigned>(Reg::RSP)]);
+            sched_.regReady[static_cast<unsigned>(addr[i])]);
     }
 
     // ---------------------------------------------------------------
@@ -242,13 +185,13 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
             static_cast<unsigned>(rng_.nextRange(16, 48));
         Cycles extra_lat = rng_.nextRange(0, 200);
         Cycles done = fence_point + 100 + extra_lat;
+        // The port rotation for the synthetic µops, resolved once
+        // (this used to call uarch::coreTiming three times per µop).
+        const uarch::PortMask *cpuid_ports = prog.uopPorts(d);
         for (unsigned i = 0; i < extra_uops; ++i) {
             count(EventId::UopsIssued, 1,
                   issueSlot(ctx.effectiveIssueWidth));
-            dispatchUop(uarch::coreTiming(family, insn).uopPorts[
-                            i % uarch::coreTiming(family, insn)
-                                    .uopPorts.size()],
-                        fence_point, 1, 0);
+            dispatchUop(cpuid_ports[i % d.uopCount], fence_point, 1, 0);
         }
         sched_.minDispatch = std::max(sched_.minDispatch, done);
         sched_.maxCompletion = std::max(sched_.maxCompletion, done);
@@ -264,12 +207,9 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
     }
 
     // ---------------------------------------------------------------
-    // Issue accounting.
+    // Issue accounting (µop count resolved at decode time).
     // ---------------------------------------------------------------
-    uarch::CoreTiming timing = uarch::coreTiming(family, insn);
-    unsigned n_uops = static_cast<unsigned>(timing.uopPorts.size()) +
-                      (has_load ? 1u : 0u) + (has_store ? 2u : 0u);
-    unsigned issue_uops = std::max(1u, n_uops);
+    unsigned issue_uops = d.nIssueUops;
     Cycles issue_ready = 0;
     for (unsigned i = 0; i < issue_uops; ++i) {
         Cycles ic = issueSlot(ctx.effectiveIssueWidth);
@@ -288,9 +228,7 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
     if (mem_op)
         mem_vaddr = effectiveAddress(mem_op->mem);
 
-    if (has_load && insn.opcode != Opcode::POP &&
-        insn.opcode != Opcode::RET && insn.opcode != Opcode::PREFETCHT0 &&
-        insn.opcode != Opcode::PREFETCHNTA) {
+    if (d.doLoadUop) {
         NB_ASSERT(mem_op != nullptr, "load without memory operand");
         Cycles ready = std::max(addr_ready, issue_ready);
         auto lt = dispatchUop(ports_.loadPorts, ready, 1, 0);
@@ -307,18 +245,19 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
     }
 
     // ---------------------------------------------------------------
-    // Core µops (timing).
+    // Core µops (timing resolved at decode time).
     // ---------------------------------------------------------------
     Cycles core_ready = std::max({src_ready, issue_ready, load_done});
     Cycles core_done = core_ready;
     Cycles first_dispatch = core_ready;
-    if (!timing.uopPorts.empty()) {
-        auto t0 = dispatchUop(timing.uopPorts[0], core_ready,
-                              timing.latency, timing.blockCycles);
+    if (d.uopCount != 0) {
+        const uarch::PortMask *uop_ports = prog.uopPorts(d);
+        auto t0 = dispatchUop(uop_ports[0], core_ready, d.latency,
+                              d.blockCycles);
         core_done = t0.done;
         first_dispatch = t0.dispatch;
-        for (std::size_t i = 1; i < timing.uopPorts.size(); ++i) {
-            auto ti = dispatchUop(timing.uopPorts[i], core_ready, 1, 0);
+        for (unsigned i = 1; i < d.uopCount; ++i) {
+            auto ti = dispatchUop(uop_ports[i], core_ready, 1, 0);
             core_done = std::max(core_done, ti.done);
         }
     } else if (has_load) {
@@ -334,10 +273,10 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
     // Semantics.
     // ---------------------------------------------------------------
     Cycles result_ready = core_done;
-    bool is_branch = insn.isBranch();
+    bool is_branch = d.isBranch;
     bool taken = false;
     bool mispredicted = false;
-    std::size_t branch_target = ctx.nextIdx;
+    std::uint64_t branch_target = ctx.nextIdx;
 
     auto read_src = [&](const Operand &op) -> std::uint64_t {
         switch (op.kind) {
@@ -393,8 +332,7 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
     };
     auto flags_written = [&]() { sched_.flagsReady = result_ready; };
 
-    unsigned op_width =
-        insn.operands.empty() ? 64 : insn.operands[0].widthBits;
+    unsigned op_width = d.opWidth;
 
     switch (insn.opcode) {
       case Opcode::NOP:
@@ -716,7 +654,7 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
       // ------------------------------------------------- control flow
       case Opcode::JMP:
         taken = true;
-        branch_target = static_cast<std::size_t>(insn.targetIdx);
+        branch_target = resolve_target();
         break;
       case Opcode::JZ:
       case Opcode::JNZ:
@@ -755,7 +693,7 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
             break;
         }
         if (taken)
-            branch_target = static_cast<std::size_t>(insn.targetIdx);
+            branch_target = resolve_target();
         break;
       }
       case Opcode::CALL: {
@@ -764,7 +702,7 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
         storeValue(rsp, ctx.nextIdx, 8);
         sched_.regReady[static_cast<unsigned>(Reg::RSP)] = result_ready;
         taken = true;
-        branch_target = static_cast<std::size_t>(insn.targetIdx);
+        branch_target = resolve_target();
         break;
       }
       case Opcode::RET: {
@@ -776,9 +714,9 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
         arch_.writeGpr(Reg::RSP, 64, rsp + 8);
         sched_.regReady[static_cast<unsigned>(Reg::RSP)] = result_ready;
         taken = true;
-        if (value > ctx.code->size())
+        if (value > prog.virtualSize())
             fatal("RET to invalid target ", value);
-        branch_target = static_cast<std::size_t>(value);
+        branch_target = value;
         break;
       }
 
@@ -976,15 +914,14 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
         break;
 
       default:
-        panic("unhandled opcode in executor: ", info.mnemonic);
+        panic("unhandled opcode in executor: ", insn.info().mnemonic);
     }
 
     // ---------------------------------------------------------------
     // Store µops (timing); semantic write already queued above or done
     // via write_dst.
     // ---------------------------------------------------------------
-    if (has_store && insn.opcode != Opcode::PUSH &&
-        insn.opcode != Opcode::CALL) {
+    if (d.doStoreUop) {
         NB_ASSERT(mem_op != nullptr, "store without memory operand");
         Cycles addr_rdy = std::max(addr_ready, issue_ready);
         auto sa = dispatchUop(ports_.storeAddrPorts, addr_rdy, 1, 0);
@@ -1009,7 +946,7 @@ Machine::executeInstr(const Instruction &insn, ExecContext &ctx)
     // Branch prediction and redirect.
     // ---------------------------------------------------------------
     if (is_branch) {
-        std::size_t key = ctx.nextIdx - 1;
+        std::uint64_t key = ctx.nextIdx - 1;
         auto [it, inserted] = branchTable_.try_emplace(key, 1);
         std::uint8_t &counter = it->second;
         bool predicted_taken = counter >= 2;

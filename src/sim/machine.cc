@@ -282,36 +282,87 @@ Machine::maybeInterrupt(ExecContext &ctx)
 }
 
 ExecStats
-Machine::execute(const std::vector<x86::Instruction> &code)
+Machine::execute(const Program &prog)
 {
     ExecContext ctx;
-    ctx.code = &code;
-    ctx.nextIdx = 0;
+    ctx.program = &prog;
     ctx.stats.startCycle = sched_.maxCompletion;
 
     // Front-end footprint model (§III-F): code that no longer fits the
-    // instruction cache decodes at a reduced rate.
-    std::size_t footprint = code.size() * 4; // nominal 4 bytes/insn
+    // instruction cache decodes at a reduced rate. The footprint is
+    // the *dynamic* layout's size -- repeat-encoded programs occupy
+    // the same i-cache space as their materialized equivalent.
+    std::uint64_t footprint = prog.virtualSize() * 4; // 4 bytes/insn
     ctx.effectiveIssueWidth = uarch_.issueWidth;
     if (footprint > 256 * 1024)
         ctx.effectiveIssueWidth = std::max(1u, uarch_.issueWidth / 4);
     else if (footprint > 32 * 1024)
         ctx.effectiveIssueWidth = std::max(2u, uarch_.issueWidth / 2);
 
-    while (ctx.nextIdx < code.size()) {
+    // Cursor over the virtual index space: (block, iteration within
+    // the block's repeat count, offset within the pattern). Sequential
+    // advance is O(1); a taken branch relocates by scanning the block
+    // list (blocks are contiguous in virtual space and few).
+    const std::vector<Program::Block> &blocks = prog.blocks();
+    const std::uint64_t vsize = prog.virtualSize();
+    std::size_t block_idx = 0;
+    std::uint64_t iter = 0;
+    std::uint32_t offset = 0;
+    std::uint64_t vidx = 0;      // virtual index of the cursor
+    std::uint64_t copy_base = 0; // virtual index of the current copy
+
+    auto relocate = [&](std::uint64_t v) {
+        for (block_idx = 0; block_idx < blocks.size(); ++block_idx) {
+            const Program::Block &b = blocks[block_idx];
+            std::uint64_t span =
+                static_cast<std::uint64_t>(b.entryCount) * b.repeat;
+            if (v < b.firstVirtual + span) {
+                std::uint64_t rel = v - b.firstVirtual;
+                iter = rel / b.entryCount;
+                offset = static_cast<std::uint32_t>(
+                    rel % b.entryCount);
+                copy_base = b.firstVirtual + iter * b.entryCount;
+                vidx = v;
+                return;
+            }
+        }
+        vidx = v; // past the end: control falls off the program
+    };
+
+    while (vidx < vsize) {
         if (ctx.stats.instructions >= maxInstr_) {
             fatal("instruction budget exceeded (", maxInstr_,
                   "); possible endless loop in microbenchmark");
         }
-        const x86::Instruction &insn = code[ctx.nextIdx];
-        ++ctx.nextIdx;
-        executeInstr(insn, ctx);
+        const Program::Block &b = blocks[block_idx];
+        const DecodedInsn &d = prog.entry(b.entryBegin + offset);
+        ctx.copyBase = copy_base;
+        // Advance the cursor to the fallthrough position.
+        ++vidx;
+        if (++offset == b.entryCount) {
+            offset = 0;
+            if (++iter == b.repeat) {
+                iter = 0;
+                ++block_idx;
+            }
+            copy_base = vidx;
+        }
+        ctx.nextIdx = vidx;
+        executeInstr(d, ctx);
         ++ctx.stats.instructions;
+        if (ctx.nextIdx != vidx)
+            relocate(ctx.nextIdx); // a taken branch redirected us
         maybeInterrupt(ctx);
     }
 
     ctx.stats.endCycle = sched_.maxCompletion;
     return ctx.stats;
+}
+
+ExecStats
+Machine::execute(const std::vector<x86::Instruction> &code)
+{
+    return execute(Program::decode(uarch_, code));
 }
 
 std::uint64_t

@@ -37,6 +37,7 @@
 #include "sim/arch_state.hh"
 #include "sim/memory.hh"
 #include "sim/pmu.hh"
+#include "sim/program.hh"
 #include "sim/tlb.hh"
 #include "uarch/uarch.hh"
 #include "x86/instruction.hh"
@@ -106,10 +107,21 @@ class Machine
     Cycles cycles() const { return sched_.maxCompletion; }
 
     /**
-     * Execute a code sequence until control falls off the end.
+     * Execute a predecoded program until control falls off the end.
+     * This is the primary execution path: all static per-instruction
+     * facts come from the Program's DecodedInsn entries, so nothing
+     * is re-derived per dynamic instruction.
      *
      * @throws nb::FatalError on faults (privilege violation, page fault,
      *         divide error) and on exceeding the instruction budget.
+     */
+    ExecStats execute(const Program &prog);
+
+    /**
+     * Execute a code sequence until control falls off the end.
+     * Compatibility shim: decodes into a Program (paying the decode
+     * cost on every call) and executes it. Callers running the same
+     * code repeatedly should decode once and use the overload above.
      */
     ExecStats execute(const std::vector<x86::Instruction> &code);
 
@@ -166,13 +178,18 @@ class Machine
     // --------------------------------------------------- execution core
     struct ExecContext
     {
-        const std::vector<x86::Instruction> *code = nullptr;
-        std::size_t nextIdx = 0;
+        const Program *program = nullptr;
+        /** Virtual index of the next instruction (the fallthrough /
+         *  return address while executeInstr runs). */
+        std::uint64_t nextIdx = 0;
+        /** Virtual index of the current pattern copy's first entry
+         *  (resolves pattern-relative branch targets). */
+        std::uint64_t copyBase = 0;
         ExecStats stats;
         unsigned effectiveIssueWidth = 4;
     };
 
-    void executeInstr(const x86::Instruction &insn, ExecContext &ctx);
+    void executeInstr(const DecodedInsn &d, ExecContext &ctx);
 
     /** Memory helpers (semantics + timing + events). */
     Addr effectiveAddress(const x86::MemRef &mem) const;
@@ -210,8 +227,9 @@ class Machine
     std::uint64_t maxInstr_ = 50'000'000;
     Cycles nextInterrupt_ = 0;
 
-    /** Branch predictor: 2-bit saturating counters per code index. */
-    std::unordered_map<std::size_t, std::uint8_t> branchTable_;
+    /** Branch predictor: 2-bit saturating counters per virtual code
+     *  index. */
+    std::unordered_map<std::uint64_t, std::uint8_t> branchTable_;
 };
 
 } // namespace nb::sim

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Program decoder: static-fact extraction, done once per static
+ * instruction instead of once per dynamic instruction.
+ */
+
+#include "program.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nb::sim
+{
+
+using x86::Instruction;
+using x86::Opcode;
+using x86::Operand;
+using x86::OperandKind;
+using x86::Reg;
+
+namespace
+{
+
+/** Append a register to a pool slice, skipping duplicates (readiness
+ *  is a max over the slice, so duplicates are redundant work). */
+void
+addReg(std::vector<Reg> &pool, std::uint32_t begin, Reg r)
+{
+    for (std::size_t i = begin; i < pool.size(); ++i) {
+        if (pool[i] == r)
+            return;
+    }
+    pool.push_back(r);
+}
+
+} // namespace
+
+Program
+Program::decode(const uarch::MicroArch &ua, std::vector<Segment> segments)
+{
+    Program prog;
+    const uarch::PortFamily family = ua.family;
+
+    for (auto &seg : segments) {
+        if (seg.repeat == 0 || seg.code.empty())
+            continue;
+
+        Block block;
+        block.entryBegin = static_cast<std::uint32_t>(
+            prog.entries_.size());
+        block.entryCount = static_cast<std::uint32_t>(seg.code.size());
+        block.repeat = seg.repeat;
+        block.firstVirtual = prog.virtualSize_;
+
+        for (const Instruction &insn : seg.code) {
+            const x86::OpcodeInfo &info = insn.info();
+            if (!uarch::supportsOpcode(family, insn.opcode)) {
+                fatal("invalid opcode: ", info.mnemonic,
+                      " is not supported on ", ua.name);
+            }
+
+            DecodedInsn d;
+            d.insnIdx = static_cast<std::uint32_t>(prog.insns_.size());
+            d.target = insn.targetIdx;
+            d.targetAbsolute = seg.absoluteTargets;
+            d.privileged = info.privileged;
+            d.readsFlags = info.readsFlags;
+            d.isBranch = insn.isBranch();
+            d.zeroIdiom = insn.isZeroIdiom();
+            d.hasLoad = insn.isLoad();
+            d.hasStore = insn.isStore();
+            d.opWidth = static_cast<std::uint16_t>(
+                insn.operands.empty() ? 64
+                                      : insn.operands[0].widthBits);
+
+            // Memory operand position (at most one in this subset).
+            for (std::size_t i = 0; i < insn.operands.size(); ++i) {
+                if (insn.operands[i].kind == OperandKind::Memory) {
+                    d.memOpIdx = static_cast<std::int8_t>(i);
+                    break;
+                }
+            }
+
+            // Resolved core timing + µop port pool slice.
+            uarch::CoreTiming timing = uarch::coreTiming(family, insn);
+            d.latency = static_cast<std::uint16_t>(timing.latency);
+            d.blockCycles =
+                static_cast<std::uint16_t>(timing.blockCycles);
+            d.uopBegin = static_cast<std::uint32_t>(
+                prog.portPool_.size());
+            d.uopCount = static_cast<std::uint16_t>(
+                timing.uopPorts.size());
+            prog.portPool_.insert(prog.portPool_.end(),
+                                  timing.uopPorts.begin(),
+                                  timing.uopPorts.end());
+
+            // Memory µop decomposition (mirrors the executor's
+            // special cases for stack/prefetch opcodes, which handle
+            // their memory traffic inline).
+            d.doLoadUop = d.hasLoad && insn.opcode != Opcode::POP &&
+                          insn.opcode != Opcode::RET &&
+                          insn.opcode != Opcode::PREFETCHT0 &&
+                          insn.opcode != Opcode::PREFETCHNTA;
+            d.doStoreUop = d.hasStore && insn.opcode != Opcode::PUSH &&
+                           insn.opcode != Opcode::CALL;
+
+            unsigned n_uops = static_cast<unsigned>(d.uopCount) +
+                              (d.hasLoad ? 1u : 0u) +
+                              (d.hasStore ? 2u : 0u);
+            d.nIssueUops = static_cast<std::uint8_t>(
+                std::max(1u, n_uops));
+
+            // Source-readiness registers: explicit register operands
+            // that are read (a destination counts only when the
+            // instruction reads it), plus the implicit reads. A zero
+            // idiom reads nothing.
+            d.srcBegin = static_cast<std::uint32_t>(
+                prog.regPool_.size());
+            if (!d.zeroIdiom) {
+                for (std::size_t i = 0; i < insn.operands.size(); ++i) {
+                    const Operand &op = insn.operands[i];
+                    if (op.kind != OperandKind::Register)
+                        continue;
+                    bool is_dest = i == 0 &&
+                                   insn.opcode != Opcode::CMP &&
+                                   insn.opcode != Opcode::TEST &&
+                                   insn.opcode != Opcode::BT &&
+                                   insn.opcode != Opcode::PUSH;
+                    if (!is_dest || insn.destIsRead())
+                        addReg(prog.regPool_, d.srcBegin, op.reg);
+                }
+                for (Reg r : info.implicitReads)
+                    addReg(prog.regPool_, d.srcBegin, r);
+            }
+            d.srcCount = static_cast<std::uint16_t>(
+                prog.regPool_.size() - d.srcBegin);
+
+            // Address-readiness registers: base/index of the memory
+            // operand; the stack opcodes also wait on RSP.
+            d.addrBegin = static_cast<std::uint32_t>(
+                prog.regPool_.size());
+            if (d.memOpIdx >= 0) {
+                const x86::MemRef &mem =
+                    insn.operands[d.memOpIdx].mem;
+                if (mem.base != Reg::Invalid)
+                    addReg(prog.regPool_, d.addrBegin, mem.base);
+                if (mem.index != Reg::Invalid)
+                    addReg(prog.regPool_, d.addrBegin, mem.index);
+            }
+            if (insn.opcode == Opcode::PUSH ||
+                insn.opcode == Opcode::POP ||
+                insn.opcode == Opcode::CALL ||
+                insn.opcode == Opcode::RET) {
+                addReg(prog.regPool_, d.addrBegin, Reg::RSP);
+            }
+            d.addrCount = static_cast<std::uint16_t>(
+                prog.regPool_.size() - d.addrBegin);
+
+            prog.entries_.push_back(d);
+            prog.insns_.push_back(insn);
+        }
+
+        prog.virtualSize_ +=
+            static_cast<std::uint64_t>(block.entryCount) * block.repeat;
+        prog.blocks_.push_back(block);
+    }
+
+    return prog;
+}
+
+Program
+Program::decode(const uarch::MicroArch &ua,
+                std::vector<x86::Instruction> code)
+{
+    std::vector<Segment> segments(1);
+    segments[0].code = std::move(code);
+    return decode(ua, std::move(segments));
+}
+
+std::vector<Instruction>
+Program::materialize() const
+{
+    std::vector<Instruction> out;
+    out.reserve(virtualSize_);
+    for (const Block &block : blocks_) {
+        for (std::uint64_t iter = 0; iter < block.repeat; ++iter) {
+            std::uint64_t copy_base =
+                block.firstVirtual + iter * block.entryCount;
+            for (std::uint32_t i = 0; i < block.entryCount; ++i) {
+                const DecodedInsn &d = entries_[block.entryBegin + i];
+                Instruction insn = insns_[d.insnIdx];
+                if (insn.targetIdx >= 0 && !d.targetAbsolute) {
+                    insn.targetIdx = static_cast<std::int32_t>(
+                        insn.targetIdx +
+                        static_cast<std::int64_t>(copy_base));
+                }
+                out.push_back(std::move(insn));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace nb::sim

@@ -350,6 +350,45 @@ Instruction::isStore() const
     return !operands.empty() && &operands.front() == m;
 }
 
+bool
+Instruction::destIsRead() const
+{
+    switch (opcode) {
+      case Opcode::MOV:
+      case Opcode::MOVZX:
+      case Opcode::MOVSX:
+      case Opcode::MOVNTI:
+      case Opcode::LEA:
+      case Opcode::SETZ:
+      case Opcode::SETNZ:
+      case Opcode::POPCNT:
+      case Opcode::LZCNT:
+      case Opcode::TZCNT:
+      case Opcode::BSF:
+      case Opcode::BSR:
+      case Opcode::MOVAPS:
+      case Opcode::MOVUPS:
+      case Opcode::VADDPS:
+      case Opcode::VMULPS:
+      case Opcode::POP:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+Instruction::isZeroIdiom() const
+{
+    if (opcode != Opcode::XOR && opcode != Opcode::SUB &&
+        opcode != Opcode::PXOR)
+        return false;
+    return operands.size() == 2 &&
+           operands[0].kind == OperandKind::Register &&
+           operands[1].kind == OperandKind::Register &&
+           operands[0].reg == operands[1].reg;
+}
+
 const Operand *
 Instruction::memOperand() const
 {

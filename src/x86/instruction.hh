@@ -112,6 +112,13 @@ struct Instruction
     /** True if any operand (or implicit behaviour) stores to memory. */
     bool isStore() const;
 
+    /** Does this instruction read its destination operand (operand 0)?
+     *  False for pure writers (MOV, LEA, SETcc, POPCNT, ...). */
+    bool destIsRead() const;
+    /** Zero idiom: XOR/SUB/PXOR of a register with itself breaks the
+     *  dependency on the old value (as on real Intel/AMD cores). */
+    bool isZeroIdiom() const;
+
     /** Memory operand, if any (at most one in this subset). */
     const Operand *memOperand() const;
 

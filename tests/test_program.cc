@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Tests for the predecoded program IR (sim/program.hh) and the
+ * measurement-loop codegen hoisting built on it: decode structure
+ * (repeat folding, cached timing, operand classification), execution
+ * parity between the repeat-encoded and materialized paths, and the
+ * Runner's program cache / session-layer assembly memo behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hh"
+#include "sim/machine.hh"
+#include "sim/program.hh"
+#include "uarch/timing.hh"
+#include "uarch/uarch.hh"
+#include "x86/assembler.hh"
+
+namespace nb
+{
+namespace
+{
+
+using core::GenParams;
+using core::ReadoutItem;
+using sim::Machine;
+using sim::Program;
+using x86::assemble;
+using x86::Instruction;
+using x86::Opcode;
+using x86::Reg;
+
+// ----------------------------------------------------------- helpers --
+
+/** A kernel-mode machine with a few identity-mapped pages. */
+std::unique_ptr<Machine>
+makeMachine(const std::string &uarch = "Skylake")
+{
+    auto m = std::make_unique<Machine>(uarch::getMicroArch(uarch), 42);
+    m->setPrivilege(sim::Privilege::Kernel);
+    m->setInterruptsEnabled(false);
+    for (Addr page = 0; page < 64; ++page) {
+        m->memory().pageTable().mapPage(0x10000 + page * kPageSize,
+                                        0x10000 + page * kPageSize);
+    }
+    return m;
+}
+
+GenParams
+baseParams()
+{
+    GenParams p;
+    p.body = assemble("nop");
+    p.resultBase = 0x1000;
+    p.readouts = {{ReadoutItem::Kind::FixedPmc, 1, "Core cycles"}};
+    return p;
+}
+
+/** Materialize `repeat` relocated copies of a body (the legacy
+ *  unrolled encoding), with an optional prologue in front. */
+std::vector<Instruction>
+unrolled(const std::vector<Instruction> &prologue,
+         const std::vector<Instruction> &body, std::uint64_t repeat)
+{
+    std::vector<Instruction> out = prologue;
+    for (std::uint64_t u = 0; u < repeat; ++u) {
+        std::size_t copy_start = out.size();
+        for (Instruction insn : body) {
+            if (insn.targetIdx >= 0)
+                insn.targetIdx += static_cast<std::int32_t>(copy_start);
+            out.push_back(std::move(insn));
+        }
+    }
+    return out;
+}
+
+/** The same sequence as a repeat-encoded two-segment program. */
+Program
+repeatProgram(const std::string &uarch,
+              const std::vector<Instruction> &prologue,
+              const std::vector<Instruction> &body, std::uint64_t repeat)
+{
+    std::vector<Program::Segment> segments;
+    if (!prologue.empty())
+        segments.push_back({prologue, 1, false});
+    segments.push_back({body, repeat, false});
+    return Program::decode(uarch::getMicroArch(uarch),
+                           std::move(segments));
+}
+
+/** GPR snapshot for state comparisons. */
+std::vector<std::uint64_t>
+gprs(Machine &m)
+{
+    std::vector<std::uint64_t> v;
+    for (unsigned i = 0; i < x86::kNumGprs; ++i)
+        v.push_back(m.arch().readGpr(static_cast<Reg>(i), 64));
+    return v;
+}
+
+// --------------------------------------------------- decode structure --
+
+TEST(ProgramDecode, RepeatFoldingKeepsStaticSizeConstant)
+{
+    auto p = baseParams();
+    p.localUnrollCount = 500;
+    const auto &ua = uarch::getMicroArch("Skylake");
+
+    auto legacy = generateMeasurementCode(p);
+    Program prog = core::buildMeasurementProgram(p, ua);
+
+    // Dynamic layout identical, static decode independent of unroll.
+    EXPECT_EQ(prog.virtualSize(), legacy.size());
+    EXPECT_LT(prog.entryCount(), legacy.size());
+
+    auto p1 = p;
+    p1.localUnrollCount = 1;
+    Program prog1 = core::buildMeasurementProgram(p1, ua);
+    EXPECT_EQ(prog.entryCount(), prog1.entryCount());
+
+    // The body block carries the repeat count.
+    bool found_repeat = false;
+    for (const auto &block : prog.blocks())
+        found_repeat |= block.repeat == 500 && block.entryCount == 1;
+    EXPECT_TRUE(found_repeat);
+}
+
+TEST(ProgramDecode, MaterializeMatchesLegacyCodegen)
+{
+    const auto &ua = uarch::getMicroArch("Skylake");
+    std::vector<GenParams> cases;
+    {
+        auto p = baseParams();
+        p.localUnrollCount = 7;
+        cases.push_back(p);
+    }
+    {
+        auto p = baseParams();
+        p.body = assemble("l: dec RAX; jnz l");
+        p.localUnrollCount = 3;
+        p.loopCount = 10;
+        cases.push_back(p);
+    }
+    {
+        auto p = baseParams();
+        p.noMem = true;
+        p.resultBase = 0;
+        p.serialize = core::SerializeMode::Cpuid;
+        p.localUnrollCount = 4;
+        cases.push_back(p);
+    }
+    {
+        auto p = baseParams();
+        p.localUnrollCount = 0; // basic mode: readouts only
+        cases.push_back(p);
+    }
+    {
+        auto p = baseParams();
+        p.init = assemble("mov RAX, 1; mov RBX, 2");
+        p.loopCount = 5;
+        p.localUnrollCount = 2;
+        cases.push_back(p);
+    }
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        auto legacy = generateMeasurementCode(cases[i]);
+        auto expanded =
+            core::buildMeasurementProgram(cases[i], ua).materialize();
+        EXPECT_EQ(expanded, legacy) << "case " << i;
+    }
+}
+
+TEST(ProgramDecode, CachedTimingMatchesCoreTiming)
+{
+    auto code = assemble(
+        "add RAX, RBX; imul RAX, RBX; shl RAX, 3; lea RAX, [RBX+RCX+8];"
+        "mov RAX, [0x10000]; mov [0x10000], RAX; div RBX; cpuid;"
+        "rdpmc; movaps XMM1, XMM2; jnz l; l: nop; push RAX; pop RBX");
+    for (const char *name : {"Skylake", "Nehalem", "Haswell", "Zen"}) {
+        const auto &ua = uarch::getMicroArch(name);
+        Program prog = Program::decode(ua, code);
+        ASSERT_EQ(prog.entryCount(), code.size());
+        for (std::size_t i = 0; i < code.size(); ++i) {
+            const sim::DecodedInsn &d = prog.entry(i);
+            auto timing = uarch::coreTiming(ua.family, code[i]);
+            EXPECT_EQ(d.latency, timing.latency) << name << " #" << i;
+            EXPECT_EQ(d.blockCycles, timing.blockCycles)
+                << name << " #" << i;
+            ASSERT_EQ(d.uopCount, timing.uopPorts.size())
+                << name << " #" << i;
+            for (unsigned u = 0; u < d.uopCount; ++u) {
+                EXPECT_EQ(prog.uopPorts(d)[u], timing.uopPorts[u])
+                    << name << " #" << i << " uop " << u;
+            }
+        }
+    }
+}
+
+TEST(ProgramDecode, ZeroIdiomAndDestReadParity)
+{
+    // The cached flags must match the x86-layer classification the
+    // executor used to recompute per dynamic instruction.
+    auto code = assemble("xor RAX, RAX; sub RBX, RBX; pxor XMM1, XMM1;"
+                         "xor RAX, RBX; sub RAX, RBX; mov RAX, RBX;"
+                         "add RAX, RBX; popcnt RAX, RBX");
+    Program prog = Program::decode(uarch::getMicroArch("Skylake"), code);
+
+    EXPECT_TRUE(prog.entry(0).zeroIdiom);  // xor RAX, RAX
+    EXPECT_TRUE(prog.entry(1).zeroIdiom);  // sub RBX, RBX
+    EXPECT_TRUE(prog.entry(2).zeroIdiom);  // pxor XMM1, XMM1
+    EXPECT_FALSE(prog.entry(3).zeroIdiom); // xor RAX, RBX
+    EXPECT_FALSE(prog.entry(4).zeroIdiom); // sub RAX, RBX
+    for (std::size_t i = 0; i < code.size(); ++i)
+        EXPECT_EQ(prog.entry(i).zeroIdiom, code[i].isZeroIdiom()) << i;
+
+    // Zero idioms wait on no source registers at all.
+    EXPECT_EQ(prog.entry(0).srcCount, 0u);
+
+    // mov RAX, RBX: MOV does not read its destination -> only RBX
+    // gates readiness. add RAX, RBX reads both.
+    EXPECT_FALSE(code[5].destIsRead());
+    ASSERT_EQ(prog.entry(5).srcCount, 1u);
+    EXPECT_EQ(prog.srcRegs(prog.entry(5))[0], Reg::RBX);
+    EXPECT_TRUE(code[6].destIsRead());
+    EXPECT_EQ(prog.entry(6).srcCount, 2u);
+    // popcnt writes its destination without reading it.
+    EXPECT_FALSE(code[7].destIsRead());
+    ASSERT_EQ(prog.entry(7).srcCount, 1u);
+    EXPECT_EQ(prog.srcRegs(prog.entry(7))[0], Reg::RBX);
+}
+
+TEST(ProgramDecode, LoadStoreDecomposition)
+{
+    auto code = assemble("mov RAX, [0x10000]; mov [0x10000], RAX;"
+                         "add [0x10000], RAX; push RAX; pop RBX;"
+                         "prefetcht0 [0x10000]");
+    Program prog = Program::decode(uarch::getMicroArch("Skylake"), code);
+
+    EXPECT_TRUE(prog.entry(0).hasLoad);    // pure load
+    EXPECT_TRUE(prog.entry(0).doLoadUop);
+    EXPECT_FALSE(prog.entry(0).hasStore);
+    EXPECT_TRUE(prog.entry(1).hasStore);   // pure store
+    EXPECT_TRUE(prog.entry(1).doStoreUop);
+    EXPECT_FALSE(prog.entry(1).hasLoad);
+    EXPECT_TRUE(prog.entry(2).hasLoad);    // RMW: both
+    EXPECT_TRUE(prog.entry(2).hasStore);
+    EXPECT_TRUE(prog.entry(3).hasStore);   // push: implicit store...
+    EXPECT_FALSE(prog.entry(3).doStoreUop); // ...handled inline
+    EXPECT_TRUE(prog.entry(4).hasLoad);    // pop: implicit load...
+    EXPECT_FALSE(prog.entry(4).doLoadUop); // ...handled inline
+    EXPECT_TRUE(prog.entry(5).hasLoad);    // prefetch counts as load...
+    EXPECT_FALSE(prog.entry(5).doLoadUop); // ...dispatched inline
+}
+
+TEST(ProgramDecode, UnsupportedOpcodeFaultsAtDecode)
+{
+    auto code = assemble("vaddps YMM1, YMM2, YMM3");
+    EXPECT_THROW(
+        Program::decode(uarch::getMicroArch("Nehalem"), code),
+        FatalError);
+}
+
+TEST(ProgramDecode, EmptyProgramExecutesAsNoOp)
+{
+    auto m = makeMachine();
+    Program empty;
+    auto stats = m->execute(empty);
+    EXPECT_EQ(stats.instructions, 0u);
+    EXPECT_EQ(stats.cycles(), 0u);
+}
+
+// ------------------------------------------------- execution parity --
+
+/**
+ * Execute the materialized unrolled sequence on one machine and the
+ * repeat-encoded program on another (same uarch + seed) and demand
+ * bit-identical statistics, cycle counts, and register state.
+ */
+void
+expectBitIdentical(const std::string &uarch,
+                   const std::string &prologue_asm,
+                   const std::string &body_asm, std::uint64_t repeat)
+{
+    std::vector<Instruction> prologue;
+    if (!prologue_asm.empty())
+        prologue = assemble(prologue_asm);
+    auto body = assemble(body_asm);
+
+    auto ma = makeMachine(uarch);
+    auto mb = makeMachine(uarch);
+    auto sa = ma->execute(unrolled(prologue, body, repeat));
+    auto sb = mb->execute(repeatProgram(uarch, prologue, body, repeat));
+
+    EXPECT_EQ(sa.instructions, sb.instructions) << body_asm;
+    EXPECT_EQ(sa.uops, sb.uops) << body_asm;
+    EXPECT_EQ(sa.startCycle, sb.startCycle) << body_asm;
+    EXPECT_EQ(sa.endCycle, sb.endCycle) << body_asm;
+    EXPECT_EQ(ma->cycles(), mb->cycles()) << body_asm;
+    EXPECT_EQ(gprs(*ma), gprs(*mb)) << body_asm;
+}
+
+TEST(ProgramExecution, BitIdenticalLoadsAndStores)
+{
+    expectBitIdentical("Skylake", "mov R14, 0x10000; xor RAX, RAX",
+                       "mov [R14], RAX; mov RBX, [R14]; add R14, 64",
+                       50);
+}
+
+TEST(ProgramExecution, BitIdenticalFences)
+{
+    expectBitIdentical("Skylake", "",
+                       "lfence; add RAX, 1; mfence; sfence", 20);
+}
+
+TEST(ProgramExecution, BitIdenticalBranches)
+{
+    // Pattern-relative branch targets: each copy's JNZ spins on its
+    // own copy's DEC, exactly like the relocated unrolled encoding.
+    expectBitIdentical("Skylake", "mov RAX, 40",
+                       "l: dec RAX; jnz l; add RAX, 4", 10);
+}
+
+TEST(ProgramExecution, BitIdenticalCallRet)
+{
+    expectBitIdentical("Skylake",
+                       "mov RSP, 0x20000",
+                       "call f; jmp done; f: add RAX, 1; ret; done: nop",
+                       5);
+}
+
+TEST(ProgramExecution, BitIdenticalPfcMarkers)
+{
+    expectBitIdentical("Skylake", "",
+                       "pfc_pause; add RAX, 1; pfc_resume; add RBX, 1",
+                       10);
+}
+
+TEST(ProgramExecution, BitIdenticalCpuid)
+{
+    // CPUID draws from the machine RNG per dynamic execution; the
+    // predecoded path must consume the stream in the same order.
+    expectBitIdentical("Skylake", "", "cpuid; add RAX, RBX", 5);
+}
+
+TEST(ProgramExecution, BitIdenticalAcrossFamilies)
+{
+    for (const char *uarch : {"Nehalem", "SandyBridge", "Haswell",
+                              "Zen"}) {
+        expectBitIdentical(uarch, "mov R14, 0x10000",
+                           "mov RBX, [R14]; imul RBX, RBX; dec RAX",
+                           25);
+    }
+}
+
+TEST(ProgramExecution, RdpmcCounterValuesIdentical)
+{
+    // Full counter readout through RDPMC on both paths.
+    const std::string readout =
+        "mov RCX, 0x40000001; rdpmc; mov RSI, RAX";
+    auto body = assemble("add RAX, RAX; imul RBX, RBX");
+    auto ma = makeMachine();
+    auto mb = makeMachine();
+    auto pre = assemble("xor RAX, RAX; mov RBX, 3");
+    auto post = assemble(readout);
+
+    auto code = unrolled(pre, body, 30);
+    code.insert(code.end(), post.begin(), post.end());
+    ma->execute(code);
+
+    std::vector<Program::Segment> segments;
+    segments.push_back({pre, 1, false});
+    segments.push_back({body, 30, false});
+    segments.push_back({post, 1, false});
+    mb->execute(Program::decode(uarch::getMicroArch("Skylake"),
+                                std::move(segments)));
+
+    EXPECT_EQ(ma->arch().readGpr(Reg::RSI, 64),
+              mb->arch().readGpr(Reg::RSI, 64));
+}
+
+// -------------------------------------------------- program caching --
+
+TEST(ProgramCache, OneBuildPerRoundAndUnrollVersion)
+{
+    Engine engine;
+    SessionOptions opt;
+    opt.mode = core::Mode::Kernel;
+    Session session = engine.session(opt);
+
+    core::BenchmarkSpec spec;
+    spec.asmCode = "add RAX, RAX";
+    spec.nMeasurements = 10;
+    spec.warmUpCount = 3;
+    // Five events on Skylake's four programmable counters: two rounds
+    // (§III-J).
+    spec.config = core::CounterConfig::parseString(
+        "0E.01 A\nA1.01 B\nA1.02 C\nA1.04 D\nA1.08 E\n");
+
+    auto &runner = session.runner();
+    runner.resetProgramCacheStats();
+
+    ASSERT_TRUE(session.run(spec).ok());
+    const auto &stats1 = runner.programCacheStats();
+    // One build per (round, unroll-version) -- NOT one per
+    // measurement: 2 rounds x 2 unroll versions, regardless of the 13
+    // executions each program serves.
+    EXPECT_EQ(stats1.builds, 4u);
+    EXPECT_EQ(stats1.hits, 0u);
+
+    ASSERT_TRUE(session.run(spec).ok());
+    const auto &stats2 = runner.programCacheStats();
+    EXPECT_EQ(stats2.builds, 4u); // repeated spec: no regeneration
+    EXPECT_EQ(stats2.hits, 4u);
+
+    // More measurements of the same spec never add builds per
+    // measurement; a changed parameter set is a different program.
+    core::BenchmarkSpec more = spec;
+    more.nMeasurements = 50;
+    ASSERT_TRUE(session.run(more).ok());
+    EXPECT_EQ(runner.programCacheStats().builds, 8u);
+}
+
+TEST(ProgramCache, StatsResetKeepsCachedPrograms)
+{
+    Engine engine;
+    Session session = engine.session();
+    core::BenchmarkSpec spec;
+    spec.asmCode = "add RAX, RAX";
+    spec.nMeasurements = 2;
+    spec.warmUpCount = 0;
+    ASSERT_TRUE(session.run(spec).ok());
+    session.runner().resetProgramCacheStats();
+    EXPECT_EQ(session.runner().programCacheStats().builds, 0u);
+    ASSERT_TRUE(session.run(spec).ok());
+    // Programs survived the stats reset: pure hits, no builds.
+    EXPECT_EQ(session.runner().programCacheStats().builds, 0u);
+    EXPECT_GT(session.runner().programCacheStats().hits, 0u);
+}
+
+TEST(AssembleCache, RepeatedSpecTextParsedOnce)
+{
+    Engine engine;
+    Session session = engine.session();
+    core::BenchmarkSpec spec;
+    // A text unlikely to be used by other tests (the memo is
+    // process-wide), so the delta accounting below is exact.
+    spec.asmCode = "add RAX, 4242; sub RAX, 4242; add RAX, 17";
+    spec.nMeasurements = 2;
+    spec.warmUpCount = 0;
+
+    auto before = assembleCacheStats();
+    ASSERT_TRUE(session.run(spec).ok());
+    ASSERT_TRUE(session.run(spec).ok());
+    ASSERT_TRUE(session.run(spec).ok());
+    auto after = assembleCacheStats();
+    EXPECT_EQ(after.misses - before.misses, 1u);
+    EXPECT_GE(after.hits - before.hits, 2u);
+}
+
+} // namespace
+} // namespace nb

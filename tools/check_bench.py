@@ -33,10 +33,18 @@ Checked ratios:
                           plan-order run on one machine; regresses if
                           the profile workload stops scaling or the
                           per-spec machine construction gets dearer)
+  predecode_vs_legacy     BM_HotpathPredecoded / BM_HotpathLegacy
+                          (the predecoded-program hot path vs
+                          re-materializing + re-decoding the unrolled
+                          measurement code per execution; the baseline
+                          encodes the >= 2x simulated-instruction
+                          throughput the decode/execute split must
+                          keep delivering)
 
 Usage:
   check_bench.py --baseline bench/BENCH_baseline.json \
-      --out BENCH_ci.json simperf.json campaign.json table.json profile.json
+      --out BENCH_ci.json simperf.json campaign.json table.json \
+      profile.json hotpath.json
 """
 
 import argparse
@@ -53,6 +61,7 @@ RATIOS = {
     "table_jobs4_vs_serial": ("BM_TableCampaign/4", "BM_TableSerial"),
     "table_dedup_vs_nodedup": ("BM_TableCampaign/1", "BM_TableNoDedup"),
     "profile_jobs4_vs_serial": ("BM_ProfileCampaign/4", "BM_ProfileSerial"),
+    "predecode_vs_legacy": ("BM_HotpathPredecoded", "BM_HotpathLegacy"),
 }
 
 
