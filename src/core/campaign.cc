@@ -180,6 +180,17 @@ parseSpecLines(const std::string &text,
                     entry.spec.noMem = true;
                 } else if (opt == "-aperf_mperf") {
                     entry.spec.aperfMperf = true;
+                } else if (opt == "-lint_level") {
+                    if (auto v = value()) {
+                        auto level = core::lintLevelFromName(*v);
+                        if (!level) {
+                            fail("bad value '" + *v +
+                                 "' for option -lint_level (use "
+                                 "off, warn, or error)");
+                        } else {
+                            entry.spec.lintLevel = *level;
+                        }
+                    }
                 } else if (opt == "-config") {
                     // Per-line counter configs (§III-J): one campaign
                     // can mix event sets. parseFile fatal()s on an

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/analysis.hh"
 #include "common/logging.hh"
 #include "common/strings.hh"
 #include "core/campaign.hh"
@@ -97,6 +98,15 @@ printUsage()
         "  -no_mem              keep counter values in registers\n"
         "  -serialize <mode>    none | cpuid | lfence (default lfence)\n"
         "  -aperf_mperf         also read APERF/MPERF (kernel only)\n"
+        "  -lint                statically analyze the queued specs\n"
+        "                       instead of running them: print the\n"
+        "                       diagnostics (rules R0-R6, see README\n"
+        "                       \"Spec linting\"); exit 1 if any spec\n"
+        "                       has an error-severity diagnostic\n"
+        "  -lint_level <l>      off | warn | error (default off): fail\n"
+        "                       a *measurement* run with a lint-error\n"
+        "                       when the analyzer finds diagnostics at\n"
+        "                       or above the level\n"
         "  -seed <n>            simulation seed\n"
         "  -json | -csv         machine-readable output\n"
         "  -list_uarchs         list supported microarchitectures\n";
@@ -141,6 +151,7 @@ main(int argc, char **argv)
     bool show_progress = false;
     bool characterize = false;
     bool fresh_machine = false;
+    bool lint = false;
     std::string spec_file;
     std::string report_path;
     std::string table_path;
@@ -230,6 +241,17 @@ main(int argc, char **argv)
                 shared.serialize = parseSerializeMode(next());
             } else if (arg == "-aperf_mperf") {
                 shared.aperfMperf = true;
+            } else if (arg == "-lint") {
+                lint = true;
+            } else if (arg == "-lint_level") {
+                std::string value = next();
+                auto level = lintLevelFromName(value);
+                if (!level) {
+                    fatal("bad value '", value,
+                          "' for option -lint_level (use off, warn, "
+                          "or error)");
+                }
+                shared.lintLevel = *level;
             } else if (arg == "-seed") {
                 session_opt.seed = parseCount(arg, next());
             } else if (arg == "-json") {
@@ -432,6 +454,87 @@ main(int argc, char **argv)
         if (queued.empty()) {
             printUsage();
             return 1;
+        }
+
+        // ----------------------- lint verb ----------------------
+
+        if (lint) {
+            const auto &ua = uarch::getMicroArch(session_opt.uarch);
+            analysis::Context ctx;
+            ctx.mode = session_opt.mode;
+            bool any_error = false;
+            bool json_array =
+                format == OutputFormat::Json && queued.size() > 1;
+            if (json_array)
+                std::cout << "[\n";
+            for (std::size_t i = 0; i < queued.size(); ++i) {
+                bool last = i + 1 == queued.size();
+                if (queued.size() > 1 && format == OutputFormat::Csv) {
+                    std::cout << "# benchmark " << i + 1 << "/"
+                              << queued.size() << "\n";
+                }
+                std::optional<RunError> failure = preset[i];
+                analysis::Report report;
+                if (!failure) {
+                    try {
+                        // Assembly errors become per-spec failures,
+                        // like the run path; print them ourselves
+                        // instead of fatal()'s courtesy line.
+                        ScopedFatalMessageSuppression suppress;
+                        report = analysis::analyzeSpec(ua, queued[i],
+                                                       ctx);
+                    } catch (const FatalError &e) {
+                        failure = RunError{
+                            RunError::Code::AssemblyError, e.what()};
+                    }
+                }
+                if (failure) {
+                    any_error = true;
+                    std::cerr << "spec " << i + 1 << "/"
+                              << queued.size() << " failed ("
+                              << runErrorCodeName(failure->code)
+                              << "): " << failure->message << "\n";
+                    if (format == OutputFormat::Json) {
+                        std::cout << "{\"error\": {\"code\": \""
+                                  << runErrorCodeName(failure->code)
+                                  << "\", \"message\": \""
+                                  << jsonEscape(failure->message)
+                                  << "\"}}"
+                                  << (json_array && !last ? "," : "")
+                                  << "\n";
+                    }
+                    if (format == OutputFormat::Csv && !last)
+                        std::cout << "\n";
+                    continue;
+                }
+                if (report.count(analysis::Severity::Error) > 0)
+                    any_error = true;
+                switch (format) {
+                  case OutputFormat::Text:
+                    if (queued.size() > 1)
+                        std::cout << "## " << queued[i].summary()
+                                  << "\n";
+                    std::cout << (report.empty()
+                                      ? std::string(
+                                            "clean (no diagnostics)\n")
+                                      : report.format());
+                    break;
+                  case OutputFormat::Json:
+                    std::cout << report.toJson();
+                    if (json_array && !last)
+                        std::cout << ",";
+                    break;
+                  case OutputFormat::Csv:
+                    std::cout << report.toCsv();
+                    break;
+                }
+                if (format != OutputFormat::Json &&
+                    queued.size() > 1 && !last)
+                    std::cout << "\n";
+            }
+            if (json_array)
+                std::cout << "]\n";
+            return any_error ? 1 : 0;
         }
 
         std::vector<BenchmarkSpec> runnable;

@@ -7,6 +7,7 @@
 
 #include <unordered_map>
 
+#include "analysis/analysis.hh"
 #include "uarch/uarch.hh"
 #include "x86/assembler.hh"
 
@@ -91,6 +92,7 @@ runErrorCodeName(RunError::Code code)
       case RunError::Code::InvalidSpec: return "invalid-spec";
       case RunError::Code::AssemblyError: return "assembly-error";
       case RunError::Code::Unsupported: return "unsupported";
+      case RunError::Code::LintError: return "lint-error";
       case RunError::Code::ExecutionError: return "execution-error";
     }
     return "unknown";
@@ -179,6 +181,39 @@ runSpecOnRunner(core::Runner &runner, core::BenchmarkSpec spec)
                             ? RunError::Code::InvalidSpec
                             : RunError::Code::Unsupported,
                         issue->message};
+    }
+
+    // Opt-in static analysis (observe-only unless the spec asks):
+    // diagnostics at or above the requested threshold become a typed
+    // LintError instead of a meaningless measurement. Reports are
+    // memoized per unique canonical spec key, so campaign re-runs and
+    // warm-ups re-lint for free.
+    if (spec.lintLevel != core::LintLevel::Off) {
+        analysis::Severity threshold =
+            spec.lintLevel == core::LintLevel::Warn
+                ? analysis::Severity::Warning
+                : analysis::Severity::Error;
+        analysis::Report report = analysis::analyzeSpecCached(
+            runner.machine().uarch(), spec,
+            analysis::Context::forRunner(runner));
+        if (report.countAtLeast(threshold) > 0) {
+            std::string message;
+            unsigned listed = 0;
+            for (const analysis::Diagnostic &d : report.diagnostics) {
+                if (static_cast<int>(d.severity) <
+                    static_cast<int>(threshold))
+                    continue;
+                if (listed == 3) {
+                    message += "; ...";
+                    break;
+                }
+                if (listed > 0)
+                    message += "; ";
+                message += d.format();
+                ++listed;
+            }
+            return RunError{RunError::Code::LintError, message};
+        }
     }
 
     try {

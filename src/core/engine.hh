@@ -67,6 +67,10 @@ struct RunError
         /** The spec asks for a feature this session cannot provide
          *  (e.g. APERF/MPERF in user mode, §II-A1). */
         Unsupported,
+        /** The spec opted into linting (BenchmarkSpec::lintLevel) and
+         *  the static analyzer found diagnostics at or above the
+         *  requested threshold. */
+        LintError,
         /** The benchmark failed while executing (e.g. a privileged
          *  instruction in user mode, a bad memory access). */
         ExecutionError,
@@ -82,7 +86,7 @@ struct RunError
 const char *runErrorCodeName(RunError::Code code);
 
 /** Number of distinct RunError codes (histogram sizing). */
-inline constexpr unsigned kNumRunErrorCodes = 4;
+inline constexpr unsigned kNumRunErrorCodes = 5;
 static_assert(static_cast<unsigned>(RunError::Code::ExecutionError) ==
                   kNumRunErrorCodes - 1,
               "kNumRunErrorCodes must track RunError::Code");

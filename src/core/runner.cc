@@ -75,6 +75,7 @@ specCanonicalKey(const BenchmarkSpec &spec)
     appendField(key, static_cast<std::uint64_t>(spec.serialize));
     appendField(key, static_cast<std::uint64_t>(spec.fixedCounters));
     appendField(key, static_cast<std::uint64_t>(spec.aperfMperf));
+    appendField(key, static_cast<std::uint64_t>(spec.lintLevel));
     for (const auto &event : spec.config.events()) {
         appendField(key, event.code.evsel);
         appendField(key, event.code.umask);
@@ -102,6 +103,28 @@ modeName(Mode mode)
     return mode == Mode::Kernel ? "kernel" : "user";
 }
 
+const char *
+lintLevelName(LintLevel level)
+{
+    switch (level) {
+      case LintLevel::Off: return "off";
+      case LintLevel::Warn: return "warn";
+      case LintLevel::Error: return "error";
+    }
+    return "?";
+}
+
+std::optional<LintLevel>
+lintLevelFromName(std::string_view name)
+{
+    for (LintLevel level :
+         {LintLevel::Off, LintLevel::Warn, LintLevel::Error}) {
+        if (name == lintLevelName(level))
+            return level;
+    }
+    return std::nullopt;
+}
+
 std::string
 BenchmarkSpec::summary() const
 {
@@ -123,6 +146,8 @@ BenchmarkSpec::summary() const
         os << " no_mem";
     if (aperfMperf)
         os << " aperf_mperf";
+    if (lintLevel != LintLevel::Off)
+        os << " lint=" << lintLevelName(lintLevel);
     return os.str();
 }
 

@@ -24,6 +24,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +47,26 @@ enum class Mode : std::uint8_t
 
 /** Human-readable name of a Mode ("user" / "kernel"). */
 const char *modeName(Mode mode);
+
+/**
+ * Opt-in spec linting threshold (the static analyzer in
+ * src/analysis/). Off keeps the pre-lint behavior: specs run
+ * unchecked. Warn fails the run on warning-or-worse diagnostics,
+ * Error only on error-severity ones; either failure surfaces as a
+ * typed RunError (LintError) from Session::run, never as an abort.
+ */
+enum class LintLevel : std::uint8_t
+{
+    Off,
+    Warn,
+    Error,
+};
+
+/** Human-readable name ("off" / "warn" / "error"). */
+const char *lintLevelName(LintLevel level);
+
+/** Inverse of lintLevelName(); std::nullopt for unknown names. */
+std::optional<LintLevel> lintLevelFromName(std::string_view name);
 
 /** User-visible benchmark parameters (the CLI options, §III). */
 struct BenchmarkSpec
@@ -74,6 +95,8 @@ struct BenchmarkSpec
     bool fixedCounters = true;
     /** Read APERF/MPERF via RDMSR (kernel mode only, §II-A1). */
     bool aperfMperf = false;
+    /** Static-analysis opt-in (observe-only default: Off). */
+    LintLevel lintLevel = LintLevel::Off;
     /** Programmable events. */
     CounterConfig config;
 
@@ -164,6 +187,10 @@ class Runner
     Addr rspArea() const { return rspBase_; }
     /** Size of the R14 area (1 MB unless reserveR14Area enlarged it). */
     Addr r14AreaSize() const { return r14Size_; }
+    /** Base of the results/scratch area the memory-mode readout spills
+     *  counters into (layout::kAreaSize bytes; the lint footprint rule
+     *  flags microbenchmarks that touch it). */
+    Addr resultArea() const { return resultBase_; }
 
     /** Total simulated cycles spent in the last run() call (for the
      *  §III-K execution-time experiment). */

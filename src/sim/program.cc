@@ -66,6 +66,7 @@ Program::decode(const uarch::MicroArch &ua, std::vector<Segment> segments)
             d.targetAbsolute = seg.absoluteTargets;
             d.privileged = info.privileged;
             d.readsFlags = info.readsFlags;
+            d.writesFlags = info.writesFlags;
             d.isBranch = insn.isBranch();
             d.zeroIdiom = insn.isZeroIdiom();
             d.hasLoad = insn.isLoad();
@@ -156,6 +157,43 @@ Program::decode(const uarch::MicroArch &ua, std::vector<Segment> segments)
             }
             d.addrCount = static_cast<std::uint16_t>(
                 prog.regPool_.size() - d.addrBegin);
+
+            // Definition set (consumed by the static analyzer; the
+            // executor keys readiness on the slices above): the
+            // written explicit destination(s) plus the implicit
+            // writes. The one-operand multiply/divide group takes a
+            // pure source operand and writes RDX:RAX instead --
+            // MUL/DIV carry that in OpcodeInfo, one-operand IMUL
+            // does not, so it is spelled out here.
+            d.dstBegin = static_cast<std::uint32_t>(
+                prog.regPool_.size());
+            bool one_op_imul = insn.opcode == Opcode::IMUL &&
+                               insn.operands.size() == 1;
+            bool dest_written =
+                !insn.operands.empty() &&
+                insn.operands[0].kind == OperandKind::Register &&
+                insn.opcode != Opcode::CMP &&
+                insn.opcode != Opcode::TEST &&
+                insn.opcode != Opcode::BT &&
+                insn.opcode != Opcode::PUSH &&
+                insn.opcode != Opcode::MUL &&
+                insn.opcode != Opcode::DIV &&
+                insn.opcode != Opcode::IDIV && !one_op_imul;
+            if (dest_written)
+                addReg(prog.regPool_, d.dstBegin, insn.operands[0].reg);
+            if (insn.opcode == Opcode::XCHG &&
+                insn.operands.size() > 1 &&
+                insn.operands[1].kind == OperandKind::Register) {
+                addReg(prog.regPool_, d.dstBegin, insn.operands[1].reg);
+            }
+            for (Reg r : info.implicitWrites)
+                addReg(prog.regPool_, d.dstBegin, r);
+            if (one_op_imul) {
+                addReg(prog.regPool_, d.dstBegin, Reg::RAX);
+                addReg(prog.regPool_, d.dstBegin, Reg::RDX);
+            }
+            d.dstCount = static_cast<std::uint16_t>(
+                prog.regPool_.size() - d.dstBegin);
 
             prog.entries_.push_back(d);
             prog.insns_.push_back(insn);

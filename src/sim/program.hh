@@ -62,13 +62,15 @@ struct DecodedInsn
     /** Branch target (see the file comment); -1 if none. */
     std::int32_t target = -1;
 
-    // Pool slices (Program::uopPorts/srcRegs/addrRegs).
+    // Pool slices (Program::uopPorts/srcRegs/addrRegs/dstRegs).
     std::uint32_t uopBegin = 0;  ///< core µop port masks
     std::uint32_t srcBegin = 0;  ///< registers gating source readiness
     std::uint32_t addrBegin = 0; ///< registers gating address readiness
+    std::uint32_t dstBegin = 0;  ///< registers written (defs; analysis)
     std::uint16_t uopCount = 0;
     std::uint16_t srcCount = 0;
     std::uint16_t addrCount = 0;
+    std::uint16_t dstCount = 0;
 
     // Resolved uarch::CoreTiming.
     std::uint16_t latency = 1;
@@ -88,6 +90,7 @@ struct DecodedInsn
     bool doStoreUop = false;    ///< explicit store-addr/data µops
     bool zeroIdiom = false;     ///< dependency-breaking idiom
     bool readsFlags = false;    ///< OpcodeInfo::readsFlags
+    bool writesFlags = false;   ///< OpcodeInfo::writesFlags
     bool isBranch = false;      ///< Instruction::isBranch()
     bool privileged = false;    ///< OpcodeInfo::privileged
     bool targetAbsolute = false;///< target is a virtual index
@@ -173,6 +176,13 @@ class Program
     const x86::Reg *addrRegs(const DecodedInsn &d) const
     {
         return regPool_.data() + d.addrBegin;
+    }
+    /** Registers the instruction writes (explicit destination(s) plus
+     *  the implicit writes). Consumed by the static analyzer; the
+     *  executor keys readiness on srcRegs/addrRegs and ignores it. */
+    const x86::Reg *dstRegs(const DecodedInsn &d) const
+    {
+        return regPool_.data() + d.dstBegin;
     }
 
     /**

@@ -225,6 +225,14 @@ Characterizer::buildLatencyChain(const Instruction &insn) const
     if (insn.isStore())
         return std::nullopt;
 
+    // CMP/TEST/BT write only flags: tying the operands to one
+    // register leaves no result to thread back into the next copy,
+    // so the "chain" degenerates to independent instructions and
+    // measures throughput. Decline, like the memory forms above.
+    if (insn.opcode == Opcode::CMP || insn.opcode == Opcode::TEST ||
+        insn.opcode == Opcode::BT)
+        return std::nullopt;
+
     // MUL/DIV chain through the implicit RAX/RDX operands.
     if (insn.opcode == Opcode::MUL || insn.opcode == Opcode::DIV ||
         insn.opcode == Opcode::IDIV ||
@@ -267,6 +275,11 @@ Characterizer::buildLatencyChain(const Instruction &insn) const
     // source to the same register.
     if (insn.operands.empty() ||
         insn.operands[0].kind != OperandKind::Register)
+        return std::nullopt;
+    // A plain move from an immediate has no input to thread the chain
+    // through -- each copy is independent by design.
+    if (insn.opcode == Opcode::MOV && insn.operands.size() == 2 &&
+        insn.operands[1].kind == OperandKind::Immediate)
         return std::nullopt;
     bool vec = x86::isVec(insn.operands[0].reg);
     Reg chain_reg = vec ? Reg::XMM1 : Reg::RAX;

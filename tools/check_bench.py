@@ -40,11 +40,17 @@ Checked ratios:
                           encodes the >= 2x simulated-instruction
                           throughput the decode/execute split must
                           keep delivering)
+  lint_overhead           BM_CampaignLint/lint:1 / BM_CampaignLint/lint:0
+                          (an identical campaign with every spec opted
+                          into LintLevel::Error vs linting off; the
+                          report memo keys on the canonical spec key,
+                          so steady-state lint cost must stay near
+                          zero)
 
 Usage:
   check_bench.py --baseline bench/BENCH_baseline.json \
       --out BENCH_ci.json simperf.json campaign.json table.json \
-      profile.json hotpath.json
+      profile.json hotpath.json analysis.json
 """
 
 import argparse
@@ -62,6 +68,7 @@ RATIOS = {
     "table_dedup_vs_nodedup": ("BM_TableCampaign/1", "BM_TableNoDedup"),
     "profile_jobs4_vs_serial": ("BM_ProfileCampaign/4", "BM_ProfileSerial"),
     "predecode_vs_legacy": ("BM_HotpathPredecoded", "BM_HotpathLegacy"),
+    "lint_overhead": ("BM_CampaignLint/lint:1", "BM_CampaignLint/lint:0"),
 }
 
 
