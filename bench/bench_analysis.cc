@@ -90,7 +90,7 @@ BM_CampaignLint(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations() * kCampaignSize));
     if (state.range(0)) {
-        auto stats = analysis::lintCacheStats();
+        auto stats = analysis::lintCacheCounters();
         state.counters["lint_hits"] =
             static_cast<double>(stats.hits);
         state.counters["lint_misses"] =

@@ -1,15 +1,23 @@
 /**
  * @file
  * Hot-path microbenchmarks of the decode/execute split: simulated-
- * instruction throughput and per-measurement setup cost, predecoded
- * (build the repeat-encoded sim::Program once, execute many times)
- * versus legacy (re-materialize the unrolled measurement code and
- * re-derive every static instruction fact on every measurement).
+ * instruction throughput and per-measurement setup cost across the
+ * three generations of the hot path --
  *
- * check_bench.py enforces the predecode_vs_legacy ratio
- * (BM_HotpathPredecoded / BM_HotpathLegacy) from these numbers; the
- * baseline encodes the >= 2x throughput win the predecoded path must
- * keep delivering.
+ *  - legacy: re-materialize the unrolled measurement code and decode
+ *    every instruction on every measurement (pre-predecode);
+ *  - switch dispatch: the predecoded Program through the frozen
+ *    switch-based reference executor (Machine::executeReference);
+ *  - threaded dispatch: the predecoded Program through the threaded
+ *    computed-goto SoA executor with batched PMU accounting
+ *    (Machine::execute, the production path).
+ *
+ * check_bench.py enforces two ratios from these numbers:
+ * predecode_vs_legacy (BM_HotpathPredecoded / BM_HotpathLegacy, the
+ * end-to-end win over the pre-predecode path) and
+ * dispatch_vs_predecode (BM_HotpathPredecoded /
+ * BM_HotpathSwitchDispatch, the threaded executor's >= 1.5x win over
+ * switch dispatch on the same predecoded program).
  */
 
 #include <benchmark/benchmark.h>
@@ -61,13 +69,37 @@ BM_HotpathLegacy(benchmark::State &state)
         // unroll x body, then decode every instruction on the way in.
         machine.pmu().beginEpoch(); // as the Runner does per run
         auto code = core::generateMeasurementCode(params);
-        auto stats = machine.execute(code);
+        auto stats =
+            machine.execute(sim::Program::decode(machine.uarch(), code));
         dynamic += stats.instructions;
         benchmark::DoNotOptimize(stats.endCycle);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(dynamic));
 }
 BENCHMARK(BM_HotpathLegacy);
+
+void
+BM_HotpathSwitchDispatch(benchmark::State &state)
+{
+    // The predecoded program through the frozen switch-based reference
+    // executor: the PR 5 hot path, kept as the parity baseline. The
+    // dispatch_vs_predecode gate measures the threaded executor
+    // against this.
+    setQuiet(true);
+    auto machine = hotpathMachine();
+    auto params = hotpathParams();
+    sim::Program prog =
+        core::buildMeasurementProgram(params, machine.uarch());
+    std::uint64_t dynamic = 0;
+    for (auto _ : state) {
+        machine.pmu().beginEpoch(); // as the Runner does per run
+        auto stats = machine.executeReference(prog);
+        dynamic += stats.instructions;
+        benchmark::DoNotOptimize(stats.endCycle);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(dynamic));
+}
+BENCHMARK(BM_HotpathSwitchDispatch);
 
 void
 BM_HotpathPredecoded(benchmark::State &state)

@@ -66,10 +66,12 @@ BM_MachineExecute(benchmark::State &state)
     sim::Machine machine(uarch::getMicroArch("Skylake"), 42);
     machine.setPrivilege(sim::Privilege::Kernel);
     machine.setInterruptsEnabled(false);
-    auto code = x86::assemble(
-        "mov R15, 100; l: add RAX, RBX; imul RCX, RCX; dec R15; jnz l");
+    auto prog = sim::Program::decode(
+        machine.uarch(),
+        x86::assemble("mov R15, 100; l: add RAX, RBX; imul RCX, RCX; "
+                      "dec R15; jnz l"));
     for (auto _ : state) {
-        auto stats = machine.execute(code);
+        auto stats = machine.execute(prog);
         benchmark::DoNotOptimize(stats.instructions);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(

@@ -955,6 +955,14 @@ analyzeSpecCached(const uarch::MicroArch &ua,
     return rep;
 }
 
+CacheStats
+lintCacheCounters()
+{
+    LintCache &cache = lintCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return {cache.stats.hits, cache.stats.misses};
+}
+
 LintCacheStats
 lintCacheStats()
 {

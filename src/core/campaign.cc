@@ -250,7 +250,13 @@ CampaignReport::toJson() const
            << "\": " << errorHistogram[i];
         first = false;
     }
-    os << "}\n";
+    os << "},\n";
+    // Embed the telemetry snapshot as a nested object (whitespace
+    // inside it is irrelevant to the reader).
+    std::string tj = telemetry.toJson();
+    while (!tj.empty() && tj.back() == '\n')
+        tj.pop_back();
+    os << "  \"telemetry\": " << tj << "\n";
     os << "}\n";
     return os.str();
 }
@@ -277,6 +283,11 @@ CampaignReport::toCsv() const
                   runErrorCodeName(static_cast<RunError::Code>(i)))
            << "," << errorHistogram[i] << "\n";
     }
+    // Telemetry rows ride along, minus their own two header lines.
+    std::string tcsv = telemetry.toCsv();
+    std::size_t skip = tcsv.find('\n');
+    skip = tcsv.find('\n', skip + 1);
+    os << tcsv.substr(skip + 1);
     return os.str();
 }
 
@@ -335,6 +346,8 @@ CampaignReport::fromJson(const std::string &text)
                     } while (cur.tryConsume(','));
                     cur.expect('}');
                 }
+            } else if (key == "telemetry") {
+                report.telemetry = EngineTelemetry::parse(cur);
             } else {
                 cur.skipValue();
             }
@@ -437,6 +450,10 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
                 if (options.freshMachinePerSpec) {
                     sim::Machine machine(ua, session_opt.seed);
                     core::Runner runner(machine, session_opt.mode);
+                    // The machine is private per spec (layout
+                    // invariance), but decoded programs are immutable
+                    // and layout-keyed: share them engine-wide.
+                    runner.setSharedProgramCache(programCache_);
                     if (options.machineSetup)
                         options.machineSetup(runner);
                     core::BenchmarkSpec resolved = specs[uniqueIdx[u]];
@@ -497,6 +514,7 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
+    campaign.report.telemetry = telemetry();
     return campaign;
 }
 

@@ -125,6 +125,11 @@ struct CampaignReport
      *  indexed by static_cast<unsigned>(RunError::Code). */
     std::vector<std::size_t> errorHistogram =
         std::vector<std::size_t>(kNumRunErrorCodes, 0);
+    /** Engine::telemetry() snapshot taken when the campaign finished:
+     *  how hard the machine pool, program cache, and process-wide
+     *  memos worked. (The memos aggregate over the whole process, not
+     *  just this campaign -- see telemetry.hh.) */
+    EngineTelemetry telemetry;
 
     /** Failed outcomes over all input specs. */
     std::size_t errorCount() const;

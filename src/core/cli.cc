@@ -107,6 +107,9 @@ printUsage()
         "                       a *measurement* run with a lint-error\n"
         "                       when the analyzer finds diagnostics at\n"
         "                       or above the level\n"
+        "  -stats               after running, dump the engine\n"
+        "                       telemetry (machine pool, program\n"
+        "                       cache, assemble/lint memos) to stderr\n"
         "  -seed <n>            simulation seed\n"
         "  -json | -csv         machine-readable output\n"
         "  -list_uarchs         list supported microarchitectures\n";
@@ -152,6 +155,7 @@ main(int argc, char **argv)
     bool characterize = false;
     bool fresh_machine = false;
     bool lint = false;
+    bool show_stats = false;
     std::string spec_file;
     std::string report_path;
     std::string table_path;
@@ -243,6 +247,8 @@ main(int argc, char **argv)
                 shared.aperfMperf = true;
             } else if (arg == "-lint") {
                 lint = true;
+            } else if (arg == "-stats") {
+                show_stats = true;
             } else if (arg == "-lint_level") {
                 std::string value = next();
                 auto level = lintLevelFromName(value);
@@ -662,6 +668,12 @@ main(int argc, char **argv)
         }
         if (json_array)
             std::cout << "]\n";
+        if (show_stats) {
+            EngineTelemetry t = engine.telemetry();
+            std::cerr << (format == OutputFormat::Json   ? t.toJson()
+                          : format == OutputFormat::Csv ? t.toCsv()
+                                                        : t.format());
+        }
         return any_failed ? 1 : 0;
     } catch (const FatalError &e) {
         return 1;

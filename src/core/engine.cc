@@ -77,6 +77,14 @@ assembleMemoized(const std::string &source)
 
 } // namespace
 
+CacheStats
+assembleCacheCounters()
+{
+    AssembleCache &cache = assembleCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    return {cache.stats.hits, cache.stats.misses};
+}
+
 AssembleCacheStats
 assembleCacheStats()
 {
@@ -285,6 +293,7 @@ Engine::session(const SessionOptions &options)
             std::make_unique<sim::Machine>(ua, resolved.seed);
         fresh->runner = std::make_unique<core::Runner>(*fresh->machine,
                                                        resolved.mode);
+        fresh->runner->setSharedProgramCache(programCache_);
         std::lock_guard<std::mutex> lock(mutex_);
         auto [it, inserted] = pool_.emplace(key, std::move(fresh));
         if (inserted)
@@ -327,9 +336,29 @@ Engine::clearPool()
 void
 Engine::resetStats()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    constructed_ = 0;
-    hits_ = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        constructed_ = 0;
+        hits_ = 0;
+    }
+    programCache_->resetStats();
+}
+
+EngineTelemetry
+Engine::telemetry() const
+{
+    EngineTelemetry t;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        t.poolSize = pool_.size();
+        t.machinesConstructed = constructed_;
+        t.poolHits = hits_;
+    }
+    t.programCacheSize = programCache_->size();
+    t.program = programCache_->stats();
+    t.assemble = assembleCacheCounters();
+    t.lint = analysis::lintCacheCounters();
+    return t;
 }
 
 } // namespace nb

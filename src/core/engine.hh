@@ -38,7 +38,9 @@
 #include <tuple>
 #include <vector>
 
+#include "core/program_cache.hh"
 #include "core/runner.hh"
+#include "core/telemetry.hh"
 
 namespace nb
 {
@@ -102,6 +104,8 @@ class RunOutcome;
  * parses each distinct asm text once per process and serves repeats
  * from a cache (campaign warm-ups, repeated specs, and profile
  * re-runs stop re-parsing). Monotonic and process-wide; thread-safe.
+ * Pre-telemetry shape, kept for the deprecated accessor; new code
+ * reads assembleCacheCounters() (or Engine::telemetry()).
  */
 struct AssembleCacheStats
 {
@@ -109,8 +113,13 @@ struct AssembleCacheStats
     std::uint64_t misses = 0; ///< texts parsed (successfully)
 };
 
-/** Current counters of the assembly memo. */
-AssembleCacheStats assembleCacheStats();
+/** Current counters of the assembly memo, in the unified telemetry
+ *  shape (misses are successful parses). Thread-safe. */
+CacheStats assembleCacheCounters();
+
+/** @deprecated Pre-telemetry shape of assembleCacheCounters(). */
+[[deprecated("use assembleCacheCounters()")]] AssembleCacheStats
+assembleCacheStats();
 
 /**
  * Run one spec on a bare Runner with Session::run() semantics:
@@ -279,10 +288,29 @@ class Engine
      *  The lifetime counters are NOT reset -- use resetStats(). */
     void clearPool();
 
-    /** Zero machinesConstructed() and poolHits() without touching the
-     *  pool itself. Benches use this to open a clean measurement
-     *  window after warm-up. */
+    /** Zero machinesConstructed(), poolHits(), and the shared
+     *  program-cache counters without touching the pool or the cached
+     *  programs. Benches use this to open a clean measurement window
+     *  after warm-up. */
     void resetStats();
+
+    /**
+     * Unified snapshot of every cache and pool counter: the machine
+     * pool, the shared measurement-program cache, and the process-wide
+     * assembly and lint memos (see telemetry.hh for the aggregation
+     * caveat on the latter two). Serializable via
+     * EngineTelemetry::toJson()/toCsv(); the CLI dumps it with -stats.
+     */
+    EngineTelemetry telemetry() const;
+
+    /**
+     * The engine-wide measurement-program cache. Every Runner this
+     * engine creates -- pooled session runners and the per-spec
+     * runners of freshMachinePerSpec campaigns -- shares it, so each
+     * unique (uarch, mode, layout, spec, round, unroll-version)
+     * program is decoded once per engine, not once per runner.
+     */
+    core::SharedProgramCache &programCache() { return *programCache_; }
 
   private:
     using PoolKey = std::tuple<std::string, core::Mode, std::uint64_t,
@@ -292,6 +320,10 @@ class Engine
     std::map<PoolKey, std::shared_ptr<detail::MachineLease>> pool_;
     std::uint64_t constructed_ = 0;
     std::uint64_t hits_ = 0;
+    /** shared_ptr ownership: runners hand out copies to their cached
+     *  programs' owners, and sessions may outlive the engine. */
+    std::shared_ptr<core::SharedProgramCache> programCache_ =
+        std::make_shared<core::SharedProgramCache>();
 };
 
 } // namespace nb

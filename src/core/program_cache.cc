@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SharedProgramCache implementation (see program_cache.hh). Decoding
+ * happens outside the lock -- lookup() and insert() are two separate
+ * critical sections -- so a slow decode never serializes the other
+ * workers' cache traffic.
+ */
+
+#include "core/program_cache.hh"
+
+namespace nb::core
+{
+
+std::shared_ptr<const sim::Program>
+SharedProgramCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    return it->second;
+}
+
+std::shared_ptr<const sim::Program>
+SharedProgramCache::insert(std::string key, sim::Program prog)
+{
+    auto owned =
+        std::make_shared<const sim::Program>(std::move(prog));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (map_.size() >= kCapacity)
+        map_.clear();
+    auto [it, inserted] = map_.try_emplace(std::move(key), owned);
+    // On a lost race the first decode wins; both racers already
+    // counted a miss, which is accurate: both paid a decode.
+    return it->second;
+}
+
+std::size_t
+SharedProgramCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+CacheStats
+SharedProgramCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+SharedProgramCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = {};
+}
+
+} // namespace nb::core

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "core/program_cache.hh"
 #include "x86/assembler.hh"
 #include "x86/encoding.hh"
 
@@ -269,15 +270,41 @@ Runner::measurementProgram(const std::string &spec_key,
     auto it = programCache_.find(key);
     if (it != programCache_.end()) {
         ++progStats_.hits;
-        return it->second;
+        return *it->second;
     }
     if (programCache_.size() >= kProgramCacheCap)
         programCache_.clear();
     ++progStats_.builds;
-    auto [pos, inserted] = programCache_.emplace(
-        std::move(key),
-        buildMeasurementProgram(params, machine_.uarch()));
-    return pos->second;
+
+    std::shared_ptr<const sim::Program> prog;
+    if (sharedCache_) {
+        // The shared key adds everything the generated program depends
+        // on beyond the spec: the uarch, the runner mode, and the
+        // layout (resultBase) the memory-mode readout is materialized
+        // against. Runners with identical layouts share one decode.
+        std::string shared_key = machine_.uarch().name;
+        shared_key += '\x1F';
+        shared_key += modeName(mode_);
+        shared_key += '\x1F';
+        shared_key += std::to_string(resultBase_);
+        shared_key += '\x1F';
+        shared_key += key;
+        prog = sharedCache_->lookup(shared_key);
+        if (!prog) {
+            // Decode outside the cache lock; if another worker raced
+            // us to the same key, its program wins and ours is
+            // discarded (both decodes happened, both count as misses).
+            prog = sharedCache_->insert(
+                std::move(shared_key),
+                buildMeasurementProgram(params, machine_.uarch()));
+        }
+    } else {
+        prog = std::make_shared<const sim::Program>(
+            buildMeasurementProgram(params, machine_.uarch()));
+    }
+    auto [pos, inserted] =
+        programCache_.emplace(std::move(key), std::move(prog));
+    return *pos->second;
 }
 
 std::vector<double>

@@ -22,6 +22,7 @@
 #ifndef NB_CORE_RUNNER_HH
 #define NB_CORE_RUNNER_HH
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -32,11 +33,14 @@
 #include "core/codegen.hh"
 #include "core/config.hh"
 #include "core/result.hh"
+#include "core/telemetry.hh"
 #include "kernel/kalloc.hh"
 #include "sim/machine.hh"
 
 namespace nb::core
 {
+
+class SharedProgramCache;
 
 /** Which nanoBench variant to model (§III-D). */
 enum class Mode : std::uint8_t
@@ -146,16 +150,16 @@ std::string specCanonicalKey(const BenchmarkSpec &spec);
 std::uint64_t specHash(const BenchmarkSpec &spec);
 
 /**
- * Hit/build counters of a Runner's measurement-program cache (exposed
- * like the Engine pool stats). One build per (round, unroll-version)
- * per unique spec is the expected steady state; builds growing with
- * nMeasurements would mean the codegen hoisting regressed.
+ * Hit/build counters of a Runner's measurement-program cache, the
+ * pre-telemetry shape kept for the deprecated programCacheStats()
+ * accessor. New code reads Runner::programStats(), which reports the
+ * same numbers as an nb::CacheStats (builds are the misses).
  */
 struct ProgramCacheStats
 {
-    /** Measurement programs decoded (cache misses). */
+    /** Measurement programs fetched or decoded (local-cache misses). */
     std::uint64_t builds = 0;
-    /** Measurement programs served from the cache. */
+    /** Measurement programs served from the local cache. */
     std::uint64_t hits = 0;
 };
 
@@ -196,13 +200,46 @@ class Runner
      *  §III-K execution-time experiment). */
     Cycles lastRunCycles() const { return lastRunCycles_; }
 
-    /** Measurement-program cache counters (see ProgramCacheStats). */
-    const ProgramCacheStats &programCacheStats() const
+    /**
+     * Measurement-program cache counters in the unified telemetry
+     * shape: hits were served from this runner's local cache; misses
+     * had to fetch from the shared cache or decode. One miss per
+     * (round, unroll-version) per unique spec is the expected steady
+     * state; misses growing with nMeasurements would mean the codegen
+     * hoisting regressed.
+     */
+    CacheStats programStats() const
+    {
+        return {progStats_.hits, progStats_.builds};
+    }
+    /** Zero the cache counters (the cache itself is kept). */
+    void resetProgramStats() { progStats_ = {}; }
+
+    /** @deprecated Pre-telemetry shape of programStats(). */
+    [[deprecated("use programStats()")]] ProgramCacheStats
+    programCacheStats() const
     {
         return progStats_;
     }
-    /** Zero the cache counters (the cache itself is kept). */
-    void resetProgramCacheStats() { progStats_ = {}; }
+    /** @deprecated Renamed; use resetProgramStats(). */
+    [[deprecated("use resetProgramStats()")]] void
+    resetProgramCacheStats()
+    {
+        progStats_ = {};
+    }
+
+    /**
+     * Attach the engine-wide shared program cache
+     * (core/program_cache.hh). On a local-cache miss the runner
+     * consults -- and populates -- the shared cache before decoding;
+     * without one attached it decodes privately, as before. The
+     * runner holds cached programs by shared_ptr, so they stay valid
+     * if the cache (or the engine owning it) goes away mid-use.
+     */
+    void setSharedProgramCache(std::shared_ptr<SharedProgramCache> cache)
+    {
+        sharedCache_ = std::move(cache);
+    }
 
   private:
     void setupMemoryAreas();
@@ -239,9 +276,14 @@ class Runner
     Addr r14Size_ = 0;
     Cycles lastRunCycles_ = 0;
 
-    /** Measurement programs keyed on (spec key, round, localUnroll). */
-    std::unordered_map<std::string, sim::Program> programCache_;
+    /** Measurement programs keyed on (spec key, round, localUnroll).
+     *  Values are shared with (and may originate from) the engine-wide
+     *  cache; privately decoded programs use the same ownership. */
+    std::unordered_map<std::string, std::shared_ptr<const sim::Program>>
+        programCache_;
     ProgramCacheStats progStats_;
+    /** Engine-wide cache, if attached (setSharedProgramCache). */
+    std::shared_ptr<SharedProgramCache> sharedCache_;
     /** Predecoded user-mode counter-programming overhead (a repeat-
      *  encoded NOP block), built on first use. */
     std::optional<sim::Program> syscallProgram_;

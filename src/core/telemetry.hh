@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unified cache telemetry for the engine layer.
+ *
+ * The library grew three cache counter structs with three shapes and
+ * three accessors: the Runner's measurement-program cache
+ * (ProgramCacheStats, builds/hits), the session-layer assembly memo
+ * (AssembleCacheStats, hits/misses) and the lint memo (LintCacheStats,
+ * hits/misses). This header unifies them: every cache reports an
+ * nb::CacheStats, and Engine::telemetry() snapshots them all -- plus
+ * the machine pool counters -- into one EngineTelemetry that
+ * serializes to JSON (round-trippable) and CSV in the BenchmarkResult
+ * dialect. The old per-cache accessors remain as deprecated shims.
+ */
+
+#ifndef NB_CORE_TELEMETRY_HH
+#define NB_CORE_TELEMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nb
+{
+
+namespace core
+{
+class JsonCursor;
+} // namespace core
+
+/** Hit/miss counters of one cache. A "miss" is a lookup that had to
+ *  build/parse/analyze the entry; a "hit" was served from the cache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    bool operator==(const CacheStats &) const = default;
+};
+
+/**
+ * One snapshot of every cache and pool counter the engine layer
+ * maintains (Engine::telemetry()). The pool counters are per-engine;
+ * the assembly and lint memos are process-wide singletons, so their
+ * numbers aggregate over every engine in the process.
+ */
+struct EngineTelemetry
+{
+    /** Machines currently pooled (Engine::poolSize()). */
+    std::uint64_t poolSize = 0;
+    /** Machines constructed over the engine's lifetime. */
+    std::uint64_t machinesConstructed = 0;
+    /** session() calls served from the pool. */
+    std::uint64_t poolHits = 0;
+    /** Programs currently held by the shared measurement-program
+     *  cache. */
+    std::uint64_t programCacheSize = 0;
+    /** Shared measurement-program cache (decodes are misses). */
+    CacheStats program;
+    /** Process-wide assembly memo (parses are misses). */
+    CacheStats assemble;
+    /** Process-wide lint memo (analyses are misses). */
+    CacheStats lint;
+
+    bool operator==(const EngineTelemetry &) const = default;
+
+    /** Serialize to a self-contained JSON object. */
+    std::string toJson() const;
+
+    /** Serialize to CSV ("key,value" rows, the BenchmarkResult
+     *  dialect). */
+    std::string toCsv() const;
+
+    /** Human-readable multi-line summary (the CLI -stats dump). */
+    std::string format() const;
+
+    /** Parse a telemetry object at the cursor (for readers embedding
+     *  telemetry in a larger document, e.g. CampaignReport). */
+    static EngineTelemetry parse(core::JsonCursor &cur);
+
+    /** Parse a report back from toJson() output.
+     *  @throws nb::FatalError on malformed input. */
+    static EngineTelemetry fromJson(const std::string &text);
+};
+
+} // namespace nb
+
+#endif // NB_CORE_TELEMETRY_HH

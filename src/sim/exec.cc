@@ -1,16 +1,23 @@
 /**
  * @file
- * Instruction execution: semantics plus per-instruction timing
- * orchestration (µop decomposition, dependence tracking, fences,
- * branches, counter-read sampling).
+ * Reference instruction execution: semantics plus per-instruction
+ * timing orchestration (µop decomposition, dependence tracking,
+ * fences, branches, counter-read sampling).
+ *
+ * This is the frozen pre-threaded-dispatch path behind
+ * Machine::executeReference(). The primary executor (dispatch.cc)
+ * must stay bit-identical to it in every observable; the parity suite
+ * compares the two instruction class by instruction class. Do not
+ * optimize this file -- it is the baseline the dispatch_vs_predecode
+ * bench gate measures against.
  */
 
 #include <bit>
-#include <cstring>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "sim/machine.hh"
+#include "sim/semantics.hh"
 #include "uarch/timing.hh"
 
 namespace nb::sim
@@ -22,83 +29,6 @@ using x86::Opcode;
 using x86::Operand;
 using x86::OperandKind;
 using x86::Reg;
-
-namespace
-{
-
-float
-asFloat(std::uint32_t bits_)
-{
-    float f;
-    std::memcpy(&f, &bits_, sizeof(f));
-    return f;
-}
-
-std::uint32_t
-asBits(float f)
-{
-    std::uint32_t b;
-    std::memcpy(&b, &f, sizeof(b));
-    return b;
-}
-
-double
-asDouble(std::uint64_t bits_)
-{
-    double d;
-    std::memcpy(&d, &bits_, sizeof(d));
-    return d;
-}
-
-std::uint64_t
-asBits(double d)
-{
-    std::uint64_t b;
-    std::memcpy(&b, &d, sizeof(b));
-    return b;
-}
-
-/** Apply a float op to each 32-bit lane of the used lanes. */
-template <typename F>
-VecReg
-mapPs(const VecReg &a, const VecReg &b, unsigned width_bits, F &&f)
-{
-    VecReg out{};
-    unsigned lanes64 = width_bits / 64;
-    for (unsigned i = 0; i < lanes64; ++i) {
-        std::uint32_t lo = f(asFloat(static_cast<std::uint32_t>(a[i])),
-                             asFloat(static_cast<std::uint32_t>(b[i])));
-        std::uint32_t hi = f(asFloat(static_cast<std::uint32_t>(a[i] >> 32)),
-                             asFloat(static_cast<std::uint32_t>(b[i] >> 32)));
-        out[i] = static_cast<std::uint64_t>(hi) << 32 | lo;
-    }
-    return out;
-}
-
-/** Apply a double op to each 64-bit lane. */
-template <typename F>
-VecReg
-mapPd(const VecReg &a, const VecReg &b, unsigned width_bits, F &&f)
-{
-    VecReg out{};
-    for (unsigned i = 0; i < width_bits / 64; ++i)
-        out[i] = asBits(f(asDouble(a[i]), asDouble(b[i])));
-    return out;
-}
-
-std::uint64_t
-widthMask(unsigned width_bits)
-{
-    return width_bits >= 64 ? ~0ULL : (1ULL << width_bits) - 1;
-}
-
-std::uint64_t
-signBit(unsigned width_bits)
-{
-    return 1ULL << (width_bits - 1);
-}
-
-} // namespace
 
 void
 Machine::executeInstr(const DecodedInsn &d, ExecContext &ctx)

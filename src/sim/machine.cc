@@ -1,7 +1,8 @@
 /**
  * @file
- * Machine framework: construction, scheduling, interrupts, MSRs.
- * Instruction semantics live in exec.cc.
+ * Machine framework: construction, scheduling, interrupts, MSRs, and
+ * the frozen reference execution loop. The primary threaded executor
+ * lives in dispatch.cc; reference instruction semantics in exec.cc.
  */
 
 #include "machine.hh"
@@ -132,9 +133,14 @@ Machine::retireInstr(Cycles completion, bool is_branch, bool mispredicted)
 }
 
 void
-Machine::count(EventId e, std::uint64_t n, Cycles at)
+Machine::flushPendingCounts()
 {
-    pmu_.count(e, n, at);
+    for (unsigned i = 0; i < kNumEvents; ++i) {
+        if (pendingCounts_[i] != 0) {
+            pmu_.commit(static_cast<EventId>(i), pendingCounts_[i]);
+            pendingCounts_[i] = 0;
+        }
+    }
 }
 
 void
@@ -282,7 +288,7 @@ Machine::maybeInterrupt(ExecContext &ctx)
 }
 
 ExecStats
-Machine::execute(const Program &prog)
+Machine::executeReference(const Program &prog)
 {
     ExecContext ctx;
     ctx.program = &prog;

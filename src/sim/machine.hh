@@ -108,9 +108,10 @@ class Machine
 
     /**
      * Execute a predecoded program until control falls off the end.
-     * This is the primary execution path: all static per-instruction
-     * facts come from the Program's DecodedInsn entries, so nothing
-     * is re-derived per dynamic instruction.
+     * This is the primary execution path (sim/dispatch.cc): a threaded
+     * computed-goto interpreter over the Program's struct-of-arrays
+     * hot layout, with PMU accounting for non-time-resolved events
+     * batched locally and committed in bulk when the call returns.
      *
      * @throws nb::FatalError on faults (privilege violation, page fault,
      *         divide error) and on exceeding the instruction budget.
@@ -118,11 +119,22 @@ class Machine
     ExecStats execute(const Program &prog);
 
     /**
-     * Execute a code sequence until control falls off the end.
-     * Compatibility shim: decodes into a Program (paying the decode
-     * cost on every call) and executes it. Callers running the same
-     * code repeatedly should decode once and use the overload above.
+     * The pre-threaded-dispatch execution path (switch-based
+     * executeInstr per dynamic instruction, per-event PMU accounting),
+     * kept frozen as the parity reference: execute() must stay
+     * bit-identical to it in every observable (ExecStats, registers,
+     * flags, counter totals and time-resolved samples), which the
+     * parity suite and the dispatch_vs_predecode bench gate pin.
      */
+    ExecStats executeReference(const Program &prog);
+
+    /**
+     * Execute a code sequence until control falls off the end.
+     * Deprecated compatibility shim: decodes into a Program (paying
+     * the decode cost on every call) and executes it. Decode a
+     * sim::Program once and use the overload above.
+     */
+    [[deprecated("decode a sim::Program once and execute(prog)")]]
     ExecStats execute(const std::vector<x86::Instruction> &code);
 
     /** Instruction budget per execute() call (runaway-loop guard). */
@@ -205,8 +217,50 @@ class Machine
     void maybeInterrupt(ExecContext &ctx);
     void scheduleNextInterrupt();
 
-    /** Count a PMU event at a cycle. */
-    void count(EventId e, std::uint64_t n, Cycles at);
+    /**
+     * Count a PMU event at a cycle. While the threaded executor runs
+     * (batchEvents_), events that are not time-resolved (not selected
+     * on a programmable counter, not InstrRetired) accrue in a local
+     * pending array -- the pause gate is applied here, at accrual time
+     * -- and are committed to the PMU totals in bulk when execute()
+     * returns. Time-resolved events always reach the PMU immediately
+     * so per-cycle sampling semantics are exact.
+     */
+    void count(EventId e, std::uint64_t n, Cycles at)
+    {
+        if (!batchEvents_) {
+            pmu_.count(e, n, at);
+            return;
+        }
+        if (n == 0 || pmu_.isPaused())
+            return;
+        auto idx = static_cast<unsigned>(e);
+        if (pmu_.loggedMask() >> idx & 1)
+            pmu_.count(e, n, at);
+        else
+            pendingCounts_[idx] += n;
+    }
+
+    /** Commit the batched event counts (see count()). */
+    void flushPendingCounts();
+
+    /** RAII scope that turns on batched counting and always flushes,
+     *  including on the fatal()/exception paths out of execute(). */
+    struct BatchCountScope
+    {
+        explicit BatchCountScope(Machine &m) : machine(m)
+        {
+            machine.batchEvents_ = true;
+        }
+        ~BatchCountScope()
+        {
+            machine.batchEvents_ = false;
+            machine.flushPendingCounts();
+        }
+        BatchCountScope(const BatchCountScope &) = delete;
+        BatchCountScope &operator=(const BatchCountScope &) = delete;
+        Machine &machine;
+    };
 
     /** Count load-hit-level events for a finished load. */
     void countLoadLevel(const cache::AccessResult &res, Cycles at);
@@ -224,6 +278,10 @@ class Machine
     Privilege privilege_ = Privilege::User;
     bool interruptsEnabled_ = true;
     bool rdpmcUser_ = true;
+    /** Batched-counting mode (threaded executor only; see count()). */
+    bool batchEvents_ = false;
+    /** Pause-gated pending counts of non-time-resolved events. */
+    std::array<std::uint64_t, kNumEvents> pendingCounts_{};
     std::uint64_t maxInstr_ = 50'000'000;
     Cycles nextInterrupt_ = 0;
 

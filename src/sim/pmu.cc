@@ -18,6 +18,20 @@ Pmu::Pmu(unsigned num_prog, bool has_fixed, double ref_ratio)
 {
     NB_ASSERT(num_prog >= 1 && num_prog <= 8,
               "unsupported programmable counter count ", num_prog);
+    static_assert(kNumEvents <= 64, "loggedMask_ is a 64-bit bitmask");
+    rebuildLoggedMask();
+}
+
+void
+Pmu::rebuildLoggedMask()
+{
+    std::uint64_t mask =
+        std::uint64_t{1} << static_cast<unsigned>(EventId::InstrRetired);
+    for (EventId sel : progSel_) {
+        if (sel != EventId::NumEvents)
+            mask |= std::uint64_t{1} << static_cast<unsigned>(sel);
+    }
+    loggedMask_ = mask;
 }
 
 bool
@@ -28,6 +42,7 @@ Pmu::configureProg(unsigned idx, EventCode code)
     if (!info)
         return false;
     progSel_[idx] = info->id;
+    rebuildLoggedMask();
     return true;
 }
 
@@ -36,6 +51,7 @@ Pmu::disableProg(unsigned idx)
 {
     NB_ASSERT(idx < numProg_, "counter index out of range: ", idx);
     progSel_[idx] = EventId::NumEvents;
+    rebuildLoggedMask();
 }
 
 EventId

@@ -58,6 +58,26 @@ class Pmu
     /** Record @p n occurrences of @p event at @p cycle. */
     void count(EventId event, std::uint64_t n, Cycles cycle);
 
+    /**
+     * Bitmask over EventId of events whose increments are time-resolved
+     * (selected on a programmable counter, plus InstrRetired which
+     * backs fixed counter 0). Events outside the mask only ever
+     * contribute to scalar totals, so callers on the hot path may
+     * accumulate them locally and commit() the sums in bulk.
+     */
+    std::uint64_t loggedMask() const { return loggedMask_; }
+
+    /**
+     * Fold @p n pre-gated occurrences of @p event into the scalar
+     * total. Used to flush batched counts for non-logged events: the
+     * pause gate was already applied when the counts accrued, so no
+     * pause check happens here, and nothing is logged.
+     */
+    void commit(EventId event, std::uint64_t n)
+    {
+        totals_[static_cast<unsigned>(event)] += n;
+    }
+
     /** Pause/resume all counting (magic-byte feature, §III-I). */
     void setPaused(bool paused) { paused_ = paused; }
     bool isPaused() const { return paused_; }
@@ -92,6 +112,7 @@ class Pmu
 
     bool eventLogged(EventId event) const;
     std::uint64_t sample(EventId event, Cycles cycle) const;
+    void rebuildLoggedMask();
 
     unsigned numProg_;
     bool hasFixed_;
@@ -100,6 +121,8 @@ class Pmu
 
     /** Event selection per programmable counter. */
     std::vector<EventId> progSel_;
+    /** Cached bitmask form of eventLogged() (see loggedMask()). */
+    std::uint64_t loggedMask_ = 0;
 
     /** Scalar totals per semantic event. */
     std::array<std::uint64_t, kNumEvents> totals_{};

@@ -34,6 +34,160 @@ addReg(std::vector<Reg> &pool, std::uint32_t begin, Reg r)
     pool.push_back(r);
 }
 
+/** Handler class of an opcode (one computed-goto label per class in
+ *  the threaded executor; opcodes sharing a reference-switch body
+ *  share a class). */
+OpClass
+opcodeClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::PAUSE:
+        return OpClass::Nop;
+      case Opcode::MOV:
+      case Opcode::MOVNTI:
+      case Opcode::MOVZX:
+        return OpClass::Mov;
+      case Opcode::MOVSX:
+        return OpClass::Movsx;
+      case Opcode::LEA:
+        return OpClass::Lea;
+      case Opcode::XCHG:
+        return OpClass::Xchg;
+      case Opcode::BSWAP:
+        return OpClass::Bswap;
+      case Opcode::CMOVZ:
+      case Opcode::CMOVNZ:
+      case Opcode::CMOVC:
+      case Opcode::CMOVNC:
+        return OpClass::Cmov;
+      case Opcode::ADD:
+      case Opcode::ADC:
+        return OpClass::AddAdc;
+      case Opcode::SUB:
+      case Opcode::SBB:
+      case Opcode::CMP:
+        return OpClass::SubSbbCmp;
+      case Opcode::AND:
+      case Opcode::OR:
+      case Opcode::XOR:
+      case Opcode::TEST:
+        return OpClass::Logic;
+      case Opcode::INC:
+      case Opcode::DEC:
+        return OpClass::IncDec;
+      case Opcode::NEG:
+        return OpClass::Neg;
+      case Opcode::NOT:
+        return OpClass::Not;
+      case Opcode::IMUL:
+        return OpClass::Imul;
+      case Opcode::MUL:
+        return OpClass::Mul;
+      case Opcode::DIV:
+      case Opcode::IDIV:
+        return OpClass::Div;
+      case Opcode::SHL:
+      case Opcode::SHR:
+      case Opcode::SAR:
+      case Opcode::ROL:
+      case Opcode::ROR:
+        return OpClass::Shift;
+      case Opcode::POPCNT:
+        return OpClass::Popcnt;
+      case Opcode::LZCNT:
+        return OpClass::Lzcnt;
+      case Opcode::TZCNT:
+        return OpClass::Tzcnt;
+      case Opcode::BSF:
+      case Opcode::BSR:
+        return OpClass::Bitscan;
+      case Opcode::BT:
+      case Opcode::BTS:
+      case Opcode::BTR:
+        return OpClass::BitTest;
+      case Opcode::SETZ:
+        return OpClass::Setz;
+      case Opcode::SETNZ:
+        return OpClass::Setnz;
+      case Opcode::JMP:
+        return OpClass::Jmp;
+      case Opcode::JZ:
+      case Opcode::JNZ:
+      case Opcode::JC:
+      case Opcode::JNC:
+      case Opcode::JL:
+      case Opcode::JGE:
+      case Opcode::JLE:
+      case Opcode::JG:
+        return OpClass::Jcc;
+      case Opcode::CALL:
+        return OpClass::Call;
+      case Opcode::RET:
+        return OpClass::Ret;
+      case Opcode::PUSH:
+        return OpClass::Push;
+      case Opcode::POP:
+        return OpClass::Pop;
+      case Opcode::MOVAPS:
+      case Opcode::MOVUPS:
+        return OpClass::MovVec;
+      case Opcode::PXOR:
+        return OpClass::Pxor;
+      case Opcode::PADDD:
+        return OpClass::Paddd;
+      case Opcode::ADDPS:
+        return OpClass::Addps;
+      case Opcode::MULPS:
+        return OpClass::Mulps;
+      case Opcode::DIVPS:
+        return OpClass::Divps;
+      case Opcode::ADDPD:
+        return OpClass::Addpd;
+      case Opcode::MULPD:
+        return OpClass::Mulpd;
+      case Opcode::DIVPD:
+        return OpClass::Divpd;
+      case Opcode::VADDPS:
+        return OpClass::Vaddps;
+      case Opcode::VMULPS:
+        return OpClass::Vmulps;
+      case Opcode::VFMADD231PS:
+        return OpClass::Vfma;
+      case Opcode::RDTSC:
+        return OpClass::Rdtsc;
+      case Opcode::RDPMC:
+        return OpClass::Rdpmc;
+      case Opcode::RDMSR:
+        return OpClass::Rdmsr;
+      case Opcode::WRMSR:
+        return OpClass::Wrmsr;
+      case Opcode::WBINVD:
+        return OpClass::Wbinvd;
+      case Opcode::CLFLUSH:
+        return OpClass::Clflush;
+      case Opcode::PREFETCHT0:
+      case Opcode::PREFETCHNTA:
+        return OpClass::Prefetch;
+      case Opcode::CLI:
+        return OpClass::Cli;
+      case Opcode::STI:
+        return OpClass::Sti;
+      case Opcode::PFC_PAUSE:
+      case Opcode::PFC_RESUME:
+        return OpClass::PfcMarker;
+      case Opcode::LFENCE:
+      case Opcode::MFENCE:
+        return OpClass::Fence;
+      case Opcode::SFENCE:
+        return OpClass::SFence;
+      case Opcode::CPUID:
+        return OpClass::Cpuid;
+      default:
+        return OpClass::Unhandled;
+    }
+}
+
 } // namespace
 
 Program
@@ -197,6 +351,45 @@ Program::decode(const uarch::MicroArch &ua, std::vector<Segment> segments)
 
             prog.entries_.push_back(d);
             prog.insns_.push_back(insn);
+
+            // Hot struct-of-arrays mirror (same index as entries_).
+            prog.opClass_.push_back(opcodeClass(insn.opcode));
+            std::uint16_t flags = 0;
+            if (d.zeroIdiom)
+                flags |= hotflag::kZeroIdiom;
+            if (d.readsFlags)
+                flags |= hotflag::kReadsFlags;
+            if (d.doLoadUop)
+                flags |= hotflag::kDoLoadUop;
+            if (d.doStoreUop)
+                flags |= hotflag::kDoStoreUop;
+            if (d.hasLoad)
+                flags |= hotflag::kHasLoad;
+            if (d.hasStore)
+                flags |= hotflag::kHasStore;
+            if (d.isBranch)
+                flags |= hotflag::kIsBranch;
+            if (d.targetAbsolute)
+                flags |= hotflag::kTargetAbsolute;
+            if (d.privileged)
+                flags |= hotflag::kPrivileged;
+            HotTiming ht;
+            ht.latency = d.latency;
+            ht.blockCycles = d.blockCycles;
+            ht.opWidth = d.opWidth;
+            ht.flags = flags;
+            ht.uopCount = d.uopCount;
+            ht.nIssueUops = d.nIssueUops;
+            ht.memOpIdx = d.memOpIdx;
+            prog.hotTiming_.push_back(ht);
+            HotRefs hr;
+            hr.uopBegin = d.uopBegin;
+            hr.srcBegin = d.srcBegin;
+            hr.addrBegin = d.addrBegin;
+            hr.target = d.target;
+            hr.srcCount = d.srcCount;
+            hr.addrCount = d.addrCount;
+            prog.hotRefs_.push_back(hr);
         }
 
         prog.virtualSize_ +=

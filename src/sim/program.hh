@@ -50,6 +50,123 @@ namespace nb::sim
 {
 
 /**
+ * Handler class of a decoded instruction: one value per semantics
+ * handler of the threaded executor (sim/dispatch.cc), assigned at
+ * decode time so the hot loop dispatches with a single computed goto
+ * instead of re-switching on the opcode per dynamic instruction.
+ * Opcodes sharing one switch body in the reference executor share one
+ * class; the handler disambiguates on the opcode where needed.
+ */
+enum class OpClass : std::uint8_t
+{
+    Nop,        ///< NOP, PAUSE
+    Mov,        ///< MOV, MOVNTI, MOVZX
+    Movsx,
+    Lea,
+    Xchg,
+    Bswap,
+    Cmov,       ///< CMOVZ/NZ/C/NC
+    AddAdc,     ///< ADD, ADC
+    SubSbbCmp,  ///< SUB, SBB, CMP
+    Logic,      ///< AND, OR, XOR, TEST
+    IncDec,
+    Neg,
+    Not,
+    Imul,
+    Mul,
+    Div,        ///< DIV, IDIV
+    Shift,      ///< SHL, SHR, SAR, ROL, ROR
+    Popcnt,
+    Lzcnt,
+    Tzcnt,
+    Bitscan,    ///< BSF, BSR
+    BitTest,    ///< BT, BTS, BTR
+    Setz,
+    Setnz,
+    Jmp,
+    Jcc,        ///< JZ/NZ/C/NC/L/GE/LE/G
+    Call,
+    Ret,
+    Push,
+    Pop,
+    MovVec,     ///< MOVAPS, MOVUPS
+    Pxor,
+    Paddd,
+    Addps,
+    Mulps,
+    Divps,
+    Addpd,
+    Mulpd,
+    Divpd,
+    Vaddps,
+    Vmulps,
+    Vfma,       ///< VFMADD231PS
+    Rdtsc,
+    Rdpmc,
+    Rdmsr,
+    Wrmsr,
+    Wbinvd,
+    Clflush,
+    Prefetch,   ///< PREFETCHT0, PREFETCHNTA
+    Cli,
+    Sti,
+    PfcMarker,  ///< PFC_PAUSE, PFC_RESUME (§III-I)
+    Fence,      ///< LFENCE, MFENCE
+    SFence,
+    Cpuid,
+    Unhandled,  ///< supported by the uarch, no executor semantics
+    NumClasses,
+};
+
+inline constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(OpClass::NumClasses);
+
+/** Bits of HotTiming::flags (the one-bit facts the hot loop tests). */
+namespace hotflag
+{
+inline constexpr std::uint16_t kZeroIdiom = 1u << 0;
+inline constexpr std::uint16_t kReadsFlags = 1u << 1;
+inline constexpr std::uint16_t kDoLoadUop = 1u << 2;
+inline constexpr std::uint16_t kDoStoreUop = 1u << 3;
+inline constexpr std::uint16_t kHasLoad = 1u << 4;
+inline constexpr std::uint16_t kHasStore = 1u << 5;
+inline constexpr std::uint16_t kIsBranch = 1u << 6;
+inline constexpr std::uint16_t kTargetAbsolute = 1u << 7;
+inline constexpr std::uint16_t kPrivileged = 1u << 8;
+} // namespace hotflag
+
+/**
+ * Hot per-entry facts consumed by the issue/dispatch stage of the
+ * threaded executor, packed to 12 bytes (five entries per cache line
+ * alongside the one-byte OpClass array). Cold facts stay in the
+ * DecodedInsn pool.
+ */
+struct HotTiming
+{
+    std::uint16_t latency = 1;
+    std::uint16_t blockCycles = 0;
+    std::uint16_t opWidth = 64;
+    std::uint16_t flags = 0;     ///< hotflag:: bits
+    std::uint16_t uopCount = 0;  ///< core µops (port-pool slice length)
+    std::uint8_t nIssueUops = 1;
+    std::int8_t memOpIdx = -1;
+};
+
+/**
+ * Hot per-entry pool references (readiness register slices, µop port
+ * slice, branch target), packed to 20 bytes.
+ */
+struct HotRefs
+{
+    std::uint32_t uopBegin = 0;
+    std::uint32_t srcBegin = 0;
+    std::uint32_t addrBegin = 0;
+    std::int32_t target = -1;
+    std::uint16_t srcCount = 0;
+    std::uint16_t addrCount = 0;
+};
+
+/**
  * One predecoded instruction: every static fact the executor needs,
  * flat (pool slices instead of owned vectors). Semantics still read
  * the operands of the original instruction via Program::insn().
@@ -158,6 +275,16 @@ class Program
         return entries_[idx];
     }
 
+    // Struct-of-arrays view for the threaded executor: parallel arrays
+    // indexed by entry (entries and source instructions are pushed in
+    // lockstep, so the entry index doubles as the instruction index).
+    const OpClass *opClasses() const { return opClass_.data(); }
+    const HotTiming *hotTiming() const { return hotTiming_.data(); }
+    const HotRefs *hotRefs() const { return hotRefs_.data(); }
+    const x86::Instruction *insnArray() const { return insns_.data(); }
+    const uarch::PortMask *portPool() const { return portPool_.data(); }
+    const x86::Reg *regPool() const { return regPool_.data(); }
+
     /** The source instruction of an entry (semantics). */
     const x86::Instruction &insn(const DecodedInsn &d) const
     {
@@ -199,6 +326,10 @@ class Program
     std::vector<Block> blocks_;
     std::vector<uarch::PortMask> portPool_;
     std::vector<x86::Reg> regPool_;
+    // Hot parallel arrays (same index space as entries_).
+    std::vector<OpClass> opClass_;
+    std::vector<HotTiming> hotTiming_;
+    std::vector<HotRefs> hotRefs_;
     std::uint64_t virtualSize_ = 0;
 };
 

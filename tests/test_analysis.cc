@@ -510,12 +510,12 @@ TEST(AnalysisLintLevel, NamesRoundTrip)
 TEST(AnalysisCache, RepeatedSpecsHitTheMemo)
 {
     core::BenchmarkSpec spec = asmSpec("add RAX, 987654");
-    analysis::LintCacheStats before = analysis::lintCacheStats();
+    CacheStats before = analysis::lintCacheCounters();
     Report first = analysis::analyzeSpecCached(skylake(), spec, {});
-    analysis::LintCacheStats mid = analysis::lintCacheStats();
+    CacheStats mid = analysis::lintCacheCounters();
     EXPECT_EQ(mid.misses, before.misses + 1);
     Report second = analysis::analyzeSpecCached(skylake(), spec, {});
-    analysis::LintCacheStats after = analysis::lintCacheStats();
+    CacheStats after = analysis::lintCacheCounters();
     EXPECT_EQ(after.hits, mid.hits + 1);
     EXPECT_EQ(after.misses, mid.misses);
     EXPECT_EQ(first, second);

@@ -474,6 +474,7 @@ TEST(CampaignReport, JsonRoundTrip)
     EXPECT_EQ(parsed.wallSeconds, campaign.report.wallSeconds);
     EXPECT_EQ(parsed.perWorkerSpecs, campaign.report.perWorkerSpecs);
     EXPECT_EQ(parsed.errorHistogram, campaign.report.errorHistogram);
+    EXPECT_EQ(parsed.telemetry, campaign.report.telemetry);
 }
 
 TEST(CampaignReport, FromJsonRejectsGarbage)
@@ -693,6 +694,150 @@ TEST(EngineStats, LifetimeCountersSurviveClearPool)
     engine.session({});
     EXPECT_EQ(engine.machinesConstructed(), 2u);
     EXPECT_EQ(engine.poolHits(), 1u);
+}
+
+// ----------------------------------------- shared program cache --
+
+TEST(SharedProgramCache, FreshMachineCampaignDecodesOncePerUniqueSpec)
+{
+    Engine engine;
+    std::vector<BenchmarkSpec> specs;
+    for (int i = 0; i < 8; ++i) {
+        BenchmarkSpec s;
+        s.asmCode = "add RAX, " + std::to_string(i + 1);
+        s.nMeasurements = 2;
+        s.warmUpCount = 1;
+        specs.push_back(s);
+    }
+    CampaignOptions opt;
+    opt.jobs = 4;
+    opt.freshMachinePerSpec = true;
+    auto first = engine.runCampaign(specs, opt);
+    EXPECT_EQ(first.report.okCount, specs.size());
+
+    // 1 counter round x 2 unroll versions per unique spec: 16 decodes
+    // total, even though every spec ran on a private fresh runner
+    // (whose local cache started empty) and executed each program
+    // several times (warm-up + measurements).
+    auto stats = engine.programCache().stats();
+    EXPECT_EQ(stats.misses, 16u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(engine.programCache().size(), 16u);
+
+    // An identical second campaign decodes nothing: all 16 fetches
+    // are shared-cache hits.
+    auto second = engine.runCampaign(specs, opt);
+    EXPECT_EQ(second.report.okCount, specs.size());
+    stats = engine.programCache().stats();
+    EXPECT_EQ(stats.misses, 16u);
+    EXPECT_EQ(stats.hits, 16u);
+
+    // The campaign report carries the snapshot.
+    EXPECT_EQ(second.report.telemetry.program, stats);
+    EXPECT_EQ(second.report.telemetry.programCacheSize, 16u);
+}
+
+TEST(SharedProgramCache, PooledReplicasShareDecodedPrograms)
+{
+    Engine engine;
+    BenchmarkSpec spec;
+    spec.asmCode = "add RAX, RAX";
+    spec.nMeasurements = 2;
+    spec.warmUpCount = 0;
+
+    SessionOptions opt;
+    Session s0 = engine.session(opt);
+    ASSERT_TRUE(s0.run(spec).ok());
+    auto stats = engine.programCache().stats();
+    EXPECT_EQ(stats.misses, 2u); // 2 unroll versions, decoded once
+    EXPECT_EQ(stats.hits, 0u);
+
+    // A second replica (private machine, identical layout) fetches
+    // instead of decoding.
+    opt.replica = 1;
+    Session s1 = engine.session(opt);
+    ASSERT_TRUE(s1.run(spec).ok());
+    stats = engine.programCache().stats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.hits, 2u);
+    // Locally both runners report two misses (fetch or decode).
+    EXPECT_EQ(s0.runner().programStats().misses, 2u);
+    EXPECT_EQ(s1.runner().programStats().misses, 2u);
+}
+
+TEST(SharedProgramCache, ResetStatsKeepsCachedPrograms)
+{
+    Engine engine;
+    BenchmarkSpec spec;
+    spec.asmCode = "add RAX, RAX";
+    spec.nMeasurements = 2;
+    spec.warmUpCount = 0;
+    ASSERT_TRUE(engine.session({}).run(spec).ok());
+    EXPECT_EQ(engine.programCache().stats().misses, 2u);
+
+    engine.resetStats();
+    EXPECT_EQ(engine.programCache().stats().misses, 0u);
+    EXPECT_EQ(engine.programCache().stats().hits, 0u);
+    EXPECT_EQ(engine.programCache().size(), 2u);
+
+    // Programs survived: a fresh replica serves pure hits.
+    SessionOptions opt;
+    opt.replica = 7;
+    ASSERT_TRUE(engine.session(opt).run(spec).ok());
+    EXPECT_EQ(engine.programCache().stats().misses, 0u);
+    EXPECT_EQ(engine.programCache().stats().hits, 2u);
+}
+
+TEST(SharedProgramCache, SessionOutlivesEngine)
+{
+    // The engine.hh contract: sessions keep working after the engine
+    // (and thus the cache's owning reference) is gone. The runner's
+    // shared_ptr copies keep the cache and its programs alive.
+    BenchmarkSpec spec;
+    spec.asmCode = "add RAX, RAX";
+    spec.nMeasurements = 2;
+    spec.warmUpCount = 0;
+    std::optional<Session> session;
+    {
+        Engine engine;
+        session.emplace(engine.session({}));
+        ASSERT_TRUE(session->run(spec).ok());
+    }
+    ASSERT_TRUE(session->run(spec).ok());
+    BenchmarkSpec other = spec;
+    other.asmCode = "add RBX, RBX";
+    ASSERT_TRUE(session->run(other).ok());
+}
+
+TEST(SharedProgramCache, ConcurrentWorkersConvergeOnOneProgram)
+{
+    // 8 workers race 24 fresh-machine specs over 3 distinct bodies
+    // (dedup off, so duplicates really execute). Concurrent lookups
+    // and racing inserts on the same keys are exactly what the TSan
+    // CI job needs to observe; the accounting invariant holds
+    // regardless of interleaving: one lookup per local miss.
+    Engine engine;
+    std::vector<BenchmarkSpec> specs;
+    for (int i = 0; i < 24; ++i) {
+        BenchmarkSpec s;
+        s.asmCode = "add RAX, " + std::to_string(i % 3);
+        s.nMeasurements = 2;
+        s.warmUpCount = 0;
+        specs.push_back(s);
+    }
+    CampaignOptions opt;
+    opt.jobs = 8;
+    opt.dedup = false;
+    opt.freshMachinePerSpec = true;
+    auto result = engine.runCampaign(specs, opt);
+    EXPECT_EQ(result.report.okCount, 24u);
+
+    // 3 bodies x 2 unroll versions = 6 distinct programs, whoever
+    // won each decode race; 24 specs x 2 fetches = 48 lookups.
+    auto stats = engine.programCache().stats();
+    EXPECT_EQ(engine.programCache().size(), 6u);
+    EXPECT_EQ(stats.hits + stats.misses, 48u);
+    EXPECT_GE(stats.misses, 6u);
 }
 
 } // namespace

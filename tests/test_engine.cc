@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/analysis.hh"
 #include "core/engine.hh"
 #include "core/nanobench.hh"
 #include "x86/assembler.hh"
@@ -468,6 +469,95 @@ TEST(Facade, ConfigFileOnlyAppliesToOwnSpec)
     core::BenchmarkSpec custom;
     custom.asmCode = "nop";
     EXPECT_EQ(bench.run(custom).lines.size(), 3u);
+}
+
+// -------------------------------------------------------- telemetry --
+
+TEST(Telemetry, SnapshotMatchesIndividualAccessors)
+{
+    Engine engine;
+    Session session = engine.session({});
+    BenchmarkSpec spec;
+    spec.asmCode = "add RAX, RAX";
+    spec.nMeasurements = 2;
+    spec.warmUpCount = 0;
+    ASSERT_TRUE(session.run(spec).ok());
+
+    EngineTelemetry t = engine.telemetry();
+    EXPECT_EQ(t.poolSize, engine.poolSize());
+    EXPECT_EQ(t.machinesConstructed, engine.machinesConstructed());
+    EXPECT_EQ(t.poolHits, engine.poolHits());
+    EXPECT_EQ(t.programCacheSize, engine.programCache().size());
+    EXPECT_EQ(t.program, engine.programCache().stats());
+    EXPECT_EQ(t.assemble, assembleCacheCounters());
+    EXPECT_EQ(t.lint, analysis::lintCacheCounters());
+    EXPECT_GT(t.program.misses, 0u);
+}
+
+TEST(Telemetry, JsonRoundTripIsExact)
+{
+    EngineTelemetry t;
+    t.poolSize = 3;
+    t.machinesConstructed = 7;
+    t.poolHits = 11;
+    t.programCacheSize = 13;
+    t.program = {100, 200};
+    t.assemble = {300, 400};
+    t.lint = {500, 600};
+    EXPECT_EQ(EngineTelemetry::fromJson(t.toJson()), t);
+    EXPECT_THROW(EngineTelemetry::fromJson("nope"), FatalError);
+    EXPECT_THROW(EngineTelemetry::fromJson("{\"pool_size\": 1"),
+                 FatalError);
+}
+
+TEST(Telemetry, CsvAndFormatListEveryCache)
+{
+    Engine engine;
+    EngineTelemetry t = engine.telemetry();
+    std::string csv = t.toCsv();
+    for (const char *key :
+         {"pool_size,", "machines_constructed,", "pool_hits,",
+          "program_cache_size,", "program_cache_hits,",
+          "program_cache_misses,", "assemble_cache_hits,",
+          "assemble_cache_misses,", "lint_cache_hits,",
+          "lint_cache_misses,"}) {
+        EXPECT_NE(csv.find(key), std::string::npos) << key;
+    }
+    std::string human = t.format();
+    EXPECT_NE(human.find("machine pool"), std::string::npos);
+    EXPECT_NE(human.find("program cache"), std::string::npos);
+    EXPECT_NE(human.find("assemble cache"), std::string::npos);
+    EXPECT_NE(human.find("lint cache"), std::string::npos);
+}
+
+TEST(Telemetry, DeprecatedAccessorsAgreeWithCounters)
+{
+    Engine engine;
+    Session session = engine.session({});
+    BenchmarkSpec spec;
+    spec.asmCode = "add RAX, RAX";
+    spec.nMeasurements = 2;
+    spec.warmUpCount = 0;
+    ASSERT_TRUE(session.run(spec).ok());
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    AssembleCacheStats old_asm = assembleCacheStats();
+    auto old_prog = session.runner().programCacheStats();
+    analysis::LintCacheStats old_lint = analysis::lintCacheStats();
+#pragma GCC diagnostic pop
+
+    CacheStats new_asm = assembleCacheCounters();
+    EXPECT_EQ(old_asm.hits, new_asm.hits);
+    EXPECT_EQ(old_asm.misses, new_asm.misses);
+
+    CacheStats new_prog = session.runner().programStats();
+    EXPECT_EQ(old_prog.hits, new_prog.hits);
+    EXPECT_EQ(old_prog.builds, new_prog.misses);
+
+    CacheStats new_lint = analysis::lintCacheCounters();
+    EXPECT_EQ(old_lint.hits, new_lint.hits);
+    EXPECT_EQ(old_lint.misses, new_lint.misses);
 }
 
 } // namespace

@@ -287,7 +287,8 @@ expectBitIdentical(const std::string &uarch,
 
     auto ma = makeMachine(uarch);
     auto mb = makeMachine(uarch);
-    auto sa = ma->execute(unrolled(prologue, body, repeat));
+    auto sa = ma->execute(Program::decode(
+        ma->uarch(), unrolled(prologue, body, repeat)));
     auto sb = mb->execute(repeatProgram(uarch, prologue, body, repeat));
 
     EXPECT_EQ(sa.instructions, sb.instructions) << body_asm;
@@ -364,7 +365,7 @@ TEST(ProgramExecution, RdpmcCounterValuesIdentical)
 
     auto code = unrolled(pre, body, 30);
     code.insert(code.end(), post.begin(), post.end());
-    ma->execute(code);
+    ma->execute(Program::decode(ma->uarch(), code));
 
     std::vector<Program::Segment> segments;
     segments.push_back({pre, 1, false});
@@ -396,19 +397,19 @@ TEST(ProgramCache, OneBuildPerRoundAndUnrollVersion)
         "0E.01 A\nA1.01 B\nA1.02 C\nA1.04 D\nA1.08 E\n");
 
     auto &runner = session.runner();
-    runner.resetProgramCacheStats();
+    runner.resetProgramStats();
 
     ASSERT_TRUE(session.run(spec).ok());
-    const auto &stats1 = runner.programCacheStats();
+    auto stats1 = runner.programStats();
     // One build per (round, unroll-version) -- NOT one per
     // measurement: 2 rounds x 2 unroll versions, regardless of the 13
     // executions each program serves.
-    EXPECT_EQ(stats1.builds, 4u);
+    EXPECT_EQ(stats1.misses, 4u);
     EXPECT_EQ(stats1.hits, 0u);
 
     ASSERT_TRUE(session.run(spec).ok());
-    const auto &stats2 = runner.programCacheStats();
-    EXPECT_EQ(stats2.builds, 4u); // repeated spec: no regeneration
+    auto stats2 = runner.programStats();
+    EXPECT_EQ(stats2.misses, 4u); // repeated spec: no regeneration
     EXPECT_EQ(stats2.hits, 4u);
 
     // More measurements of the same spec never add builds per
@@ -416,7 +417,7 @@ TEST(ProgramCache, OneBuildPerRoundAndUnrollVersion)
     core::BenchmarkSpec more = spec;
     more.nMeasurements = 50;
     ASSERT_TRUE(session.run(more).ok());
-    EXPECT_EQ(runner.programCacheStats().builds, 8u);
+    EXPECT_EQ(runner.programStats().misses, 8u);
 }
 
 TEST(ProgramCache, StatsResetKeepsCachedPrograms)
@@ -428,12 +429,12 @@ TEST(ProgramCache, StatsResetKeepsCachedPrograms)
     spec.nMeasurements = 2;
     spec.warmUpCount = 0;
     ASSERT_TRUE(session.run(spec).ok());
-    session.runner().resetProgramCacheStats();
-    EXPECT_EQ(session.runner().programCacheStats().builds, 0u);
+    session.runner().resetProgramStats();
+    EXPECT_EQ(session.runner().programStats().misses, 0u);
     ASSERT_TRUE(session.run(spec).ok());
     // Programs survived the stats reset: pure hits, no builds.
-    EXPECT_EQ(session.runner().programCacheStats().builds, 0u);
-    EXPECT_GT(session.runner().programCacheStats().hits, 0u);
+    EXPECT_EQ(session.runner().programStats().misses, 0u);
+    EXPECT_GT(session.runner().programStats().hits, 0u);
 }
 
 TEST(AssembleCache, RepeatedSpecTextParsedOnce)
@@ -447,11 +448,11 @@ TEST(AssembleCache, RepeatedSpecTextParsedOnce)
     spec.nMeasurements = 2;
     spec.warmUpCount = 0;
 
-    auto before = assembleCacheStats();
+    auto before = assembleCacheCounters();
     ASSERT_TRUE(session.run(spec).ok());
     ASSERT_TRUE(session.run(spec).ok());
     ASSERT_TRUE(session.run(spec).ok());
-    auto after = assembleCacheStats();
+    auto after = assembleCacheCounters();
     EXPECT_EQ(after.misses - before.misses, 1u);
     EXPECT_GE(after.hits - before.hits, 2u);
 }

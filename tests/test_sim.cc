@@ -40,10 +40,18 @@ gpr(Machine &m, Reg r)
     return m.arch().readGpr(r, 64);
 }
 
+/** Decode-and-execute: these tests exercise machine semantics, not
+ *  program caching, so each snippet is decoded fresh at the call. */
+ExecStats
+execProgram(Machine &m, const std::vector<x86::Instruction> &code)
+{
+    return m.execute(Program::decode(m.uarch(), code));
+}
+
 TEST(Semantics, MovAndAluBasics)
 {
     auto m = makeMachine();
-    m->execute(assemble("mov RAX, 7; mov RBX, RAX; add RBX, 5; "
+    execProgram(*m, assemble("mov RAX, 7; mov RBX, RAX; add RBX, 5; "
                         "sub RAX, 3; xor RCX, RCX"));
     EXPECT_EQ(gpr(*m, Reg::RAX), 4u);
     EXPECT_EQ(gpr(*m, Reg::RBX), 12u);
@@ -53,14 +61,14 @@ TEST(Semantics, MovAndAluBasics)
 TEST(Semantics, ThirtyTwoBitWritesZeroExtend)
 {
     auto m = makeMachine();
-    m->execute(assemble("mov RAX, -1; mov EAX, 5"));
+    execProgram(*m, assemble("mov RAX, -1; mov EAX, 5"));
     EXPECT_EQ(gpr(*m, Reg::RAX), 5u);
 }
 
 TEST(Semantics, PartialWritesMerge)
 {
     auto m = makeMachine();
-    m->execute(assemble("mov RAX, 0x1234; mov AL, 0"));
+    execProgram(*m, assemble("mov RAX, 0x1234; mov AL, 0"));
     EXPECT_EQ(gpr(*m, Reg::RAX), 0x1200u);
 }
 
@@ -69,7 +77,7 @@ TEST(Semantics, FlagsAndConditionalBranch)
     auto m = makeMachine();
     // Loop: counts 5 iterations through R15/JNZ (the generated-code
     // loop shape from Algorithm 1).
-    m->execute(assemble(
+    execProgram(*m, assemble(
         "mov R15, 5; xor RAX, RAX; loop: add RAX, 2; dec R15; jnz loop"));
     EXPECT_EQ(gpr(*m, Reg::RAX), 10u);
 }
@@ -77,7 +85,7 @@ TEST(Semantics, FlagsAndConditionalBranch)
 TEST(Semantics, CmovAndSetcc)
 {
     auto m = makeMachine();
-    m->execute(assemble("mov RAX, 1; cmp RAX, 1; setz BL; "
+    execProgram(*m, assemble("mov RAX, 1; cmp RAX, 1; setz BL; "
                         "mov RCX, 99; cmovz RCX, RAX"));
     EXPECT_EQ(gpr(*m, Reg::RBX) & 0xFF, 1u);
     EXPECT_EQ(gpr(*m, Reg::RCX), 1u);
@@ -86,7 +94,7 @@ TEST(Semantics, CmovAndSetcc)
 TEST(Semantics, MulDivPair)
 {
     auto m = makeMachine();
-    m->execute(assemble("mov RAX, 100; mov RBX, 7; mul RBX; "
+    execProgram(*m, assemble("mov RAX, 100; mov RBX, 7; mul RBX; "
                         "mov RCX, RAX; mov RAX, 700; xor RDX, RDX; "
                         "mov RBX, 7; div RBX"));
     EXPECT_EQ(gpr(*m, Reg::RCX), 700u);
@@ -97,14 +105,14 @@ TEST(Semantics, MulDivPair)
 TEST(Semantics, DivideByZeroFaults)
 {
     auto m = makeMachine();
-    EXPECT_THROW(m->execute(assemble("xor RBX, RBX; mov RAX, 1; div RBX")),
+    EXPECT_THROW(execProgram(*m, assemble("xor RBX, RBX; mov RAX, 1; div RBX")),
                  FatalError);
 }
 
 TEST(Semantics, ImulForms)
 {
     auto m = makeMachine();
-    m->execute(assemble("mov RAX, 6; mov RBX, 7; imul RAX, RBX; "
+    execProgram(*m, assemble("mov RAX, 6; mov RBX, 7; imul RAX, RBX; "
                         "imul RCX, RBX, 3"));
     EXPECT_EQ(gpr(*m, Reg::RAX), 42u);
     EXPECT_EQ(gpr(*m, Reg::RCX), 21u);
@@ -113,7 +121,7 @@ TEST(Semantics, ImulForms)
 TEST(Semantics, ShiftsAndBitOps)
 {
     auto m = makeMachine();
-    m->execute(assemble("mov RAX, 1; shl RAX, 12; mov RBX, RAX; "
+    execProgram(*m, assemble("mov RAX, 1; shl RAX, 12; mov RBX, RAX; "
                         "shr RBX, 4; popcnt RCX, RAX; tzcnt RDX, RAX"));
     EXPECT_EQ(gpr(*m, Reg::RAX), 4096u);
     EXPECT_EQ(gpr(*m, Reg::RBX), 256u);
@@ -124,7 +132,7 @@ TEST(Semantics, ShiftsAndBitOps)
 TEST(Semantics, LoadStoreRoundTrip)
 {
     auto m = makeMachine();
-    m->execute(assemble("mov RAX, 0xABCD; mov [0x10040], RAX; "
+    execProgram(*m, assemble("mov RAX, 0xABCD; mov [0x10040], RAX; "
                         "mov RBX, [0x10040]"));
     EXPECT_EQ(gpr(*m, Reg::RBX), 0xABCDu);
     EXPECT_EQ(m->memory().readVirt(0x10040, 8), 0xABCDu);
@@ -134,7 +142,7 @@ TEST(Semantics, AddressingModes)
 {
     auto m = makeMachine();
     // 0x10000 + 8*8 + 0x40 = 0x10080.
-    m->execute(assemble("mov RBX, 0x10000; mov RCX, 8; mov RAX, 42; "
+    execProgram(*m, assemble("mov RBX, 0x10000; mov RCX, 8; mov RAX, 42; "
                         "mov [RBX+RCX*8+0x40], RAX; "
                         "mov RDX, [0x10080]"));
     EXPECT_EQ(gpr(*m, Reg::RDX), 42u);
@@ -144,10 +152,10 @@ TEST(Semantics, PushPopAndCallRet)
 {
     auto m = makeMachine();
     m->arch().writeGpr(Reg::RSP, 64, 0x10000 + 32 * kPageSize);
-    m->execute(assemble("mov RAX, 11; push RAX; mov RAX, 0; pop RBX"));
+    execProgram(*m, assemble("mov RAX, 11; push RAX; mov RAX, 0; pop RBX"));
     EXPECT_EQ(gpr(*m, Reg::RBX), 11u);
 
-    m->execute(assemble("mov RAX, 1; call f; add RAX, 100; jmp done; "
+    execProgram(*m, assemble("mov RAX, 1; call f; add RAX, 100; jmp done; "
                         "f: add RAX, 10; ret; done: nop"));
     EXPECT_EQ(gpr(*m, Reg::RAX), 111u);
 }
@@ -156,7 +164,7 @@ TEST(Semantics, PointerChase)
 {
     // The §III-A idiom: store the pointer to itself, then chase it.
     auto m = makeMachine();
-    m->execute(assemble("mov R14, 0x10000; mov [R14], R14; "
+    execProgram(*m, assemble("mov R14, 0x10000; mov [R14], R14; "
                         "mov R14, [R14]; mov R14, [R14]"));
     EXPECT_EQ(gpr(*m, Reg::R14), 0x10000u);
 }
@@ -164,12 +172,12 @@ TEST(Semantics, PointerChase)
 TEST(Semantics, VectorOps)
 {
     auto m = makeMachine();
-    m->execute(assemble("pxor XMM1, XMM1; pxor XMM2, XMM2; "
+    execProgram(*m, assemble("pxor XMM1, XMM1; pxor XMM2, XMM2; "
                         "paddd XMM1, XMM2"));
     EXPECT_EQ(m->arch().readVec(Reg::XMM1)[0], 0u);
     // Store/load 128-bit.
     m->arch().writeVec(Reg::XMM3, {1, 2, 0, 0});
-    m->execute(assemble("movaps [0x10080], XMM3; movaps XMM4, [0x10080]"));
+    execProgram(*m, assemble("movaps [0x10080], XMM3; movaps XMM4, [0x10080]"));
     EXPECT_EQ(m->arch().readVec(Reg::XMM4)[0], 1u);
     EXPECT_EQ(m->arch().readVec(Reg::XMM4)[1], 2u);
 }
@@ -177,14 +185,14 @@ TEST(Semantics, VectorOps)
 TEST(Semantics, PageFaultOnUnmapped)
 {
     auto m = makeMachine();
-    EXPECT_THROW(m->execute(assemble("mov RAX, [0x900000]")), FatalError);
+    EXPECT_THROW(execProgram(*m, assemble("mov RAX, [0x900000]")), FatalError);
 }
 
 TEST(Semantics, RunawayLoopGuard)
 {
     auto m = makeMachine();
     m->setMaxInstructions(10000);
-    EXPECT_THROW(m->execute(assemble("spin: jmp spin")), FatalError);
+    EXPECT_THROW(execProgram(*m, assemble("spin: jmp spin")), FatalError);
 }
 
 // -------------------------------------------------------- privileges --
@@ -194,16 +202,16 @@ TEST(Privilege, PrivilegedInstructionsFaultInUserMode)
     for (const char *text : {"rdmsr", "wrmsr", "wbinvd", "cli", "sti"}) {
         auto m = makeMachine("Skylake", false);
         m->arch().writeGpr(Reg::RCX, 64, msr::kAperf);
-        EXPECT_THROW(m->execute(assemble(text)), FatalError) << text;
+        EXPECT_THROW(execProgram(*m, assemble(text)), FatalError) << text;
     }
 }
 
 TEST(Privilege, KernelModeAllowsPrivileged)
 {
     auto m = makeMachine();
-    m->execute(assemble("wbinvd; cli; sti"));
+    execProgram(*m, assemble("wbinvd; cli; sti"));
     m->arch().writeGpr(Reg::RCX, 64, msr::kAperf);
-    m->execute(assemble("rdmsr"));
+    execProgram(*m, assemble("rdmsr"));
 }
 
 TEST(Privilege, RdpmcRespectsCr4Pce)
@@ -211,9 +219,9 @@ TEST(Privilege, RdpmcRespectsCr4Pce)
     auto m = makeMachine("Skylake", false);
     m->setRdpmcUserEnabled(false);
     m->arch().writeGpr(Reg::RCX, 64, kRdpmcFixedBase);
-    EXPECT_THROW(m->execute(assemble("rdpmc")), FatalError);
+    EXPECT_THROW(execProgram(*m, assemble("rdpmc")), FatalError);
     m->setRdpmcUserEnabled(true);
-    m->execute(assemble("rdpmc"));
+    execProgram(*m, assemble("rdpmc"));
 }
 
 // ------------------------------------------------------------ timing --
@@ -223,10 +231,10 @@ Cycles
 measureCycles(Machine &m, const std::string &body)
 {
     auto pre = assemble("lfence");
-    m.execute(pre);
+    execProgram(m, pre);
     Cycles before = m.cycles();
-    m.execute(assemble(body));
-    m.execute(pre);
+    execProgram(m, assemble(body));
+    execProgram(m, pre);
     return m.cycles() - before;
 }
 
@@ -275,7 +283,7 @@ TEST(Timing, ZeroIdiomBreaksDependency)
 TEST(Timing, L1LoadLatencyFourCycles)
 {
     auto m = makeMachine();
-    m->execute(assemble("mov R14, 0x10000; mov [R14], R14"));
+    execProgram(*m, assemble("mov R14, 0x10000; mov [R14], R14"));
     std::string chase;
     for (int i = 0; i < 100; ++i)
         chase += "mov R14, [R14];";
@@ -287,13 +295,13 @@ TEST(Timing, LoadPortsSplitEvenly)
     auto m = makeMachine();
     m->pmu().configureProg(0, sim::EventCode{0xA1, 0x04}); // PORT_2
     m->pmu().configureProg(1, sim::EventCode{0xA1, 0x08}); // PORT_3
-    m->execute(assemble("mov R14, 0x10000; mov [R14], R14"));
+    execProgram(*m, assemble("mov R14, 0x10000; mov [R14], R14"));
     auto p2_before = m->pmu().total(EventId::UopsPort2);
     auto p3_before = m->pmu().total(EventId::UopsPort3);
     std::string chase;
     for (int i = 0; i < 200; ++i)
         chase += "mov R14, [R14];";
-    m->execute(assemble(chase));
+    execProgram(*m, assemble(chase));
     auto p2 = m->pmu().total(EventId::UopsPort2) - p2_before;
     auto p3 = m->pmu().total(EventId::UopsPort3) - p3_before;
     EXPECT_NEAR(p2, 100, 8);
@@ -306,10 +314,10 @@ TEST(Timing, MispredictionPenaltyAndTraining)
     // A loop branch mispredicts at most a couple of times once the
     // 2-bit counters are warm (§III-H).
     auto before = m->pmu().total(EventId::BrMispRetired);
-    m->execute(assemble("mov R15, 50; l: dec R15; jnz l"));
+    execProgram(*m, assemble("mov R15, 50; l: dec R15; jnz l"));
     auto first = m->pmu().total(EventId::BrMispRetired) - before;
     before = m->pmu().total(EventId::BrMispRetired);
-    m->execute(assemble("mov R15, 50; l: dec R15; jnz l"));
+    execProgram(*m, assemble("mov R15, 50; l: dec R15; jnz l"));
     auto second = m->pmu().total(EventId::BrMispRetired) - before;
     EXPECT_LE(second, first);
     EXPECT_LE(second, 2u);
@@ -322,7 +330,7 @@ TEST(Timing, DivBlocksTheDivider)
     std::string body;
     for (int i = 0; i < 20; ++i)
         body += "mov RAX, 1000; xor RDX, RDX; div RBX;";
-    m->execute(assemble("mov RBX, 3"));
+    execProgram(*m, assemble("mov RBX, 3"));
     Cycles c = measureCycles(*m, body);
     EXPECT_GT(c, 20 * 20); // ~24+ cycles each, way below latency*count
 }
@@ -332,11 +340,11 @@ TEST(Timing, DivBlocksTheDivider)
 TEST(Counters, RdpmcReadsFixedCounter)
 {
     auto m = makeMachine();
-    m->execute(assemble("mov RCX, 0x40000000; rdpmc; mov RSI, RAX"));
+    execProgram(*m, assemble("mov RCX, 0x40000000; rdpmc; mov RSI, RAX"));
     std::uint64_t instr1 = gpr(*m, Reg::RSI);
     EXPECT_GT(instr1, 0u);
     // The fence makes the second read observe the three NOPs (§IV-A1).
-    m->execute(assemble(
+    execProgram(*m, assemble(
         "nop; nop; nop; lfence; mov RCX, 0x40000000; rdpmc"));
     std::uint64_t instr2 =
         gpr(*m, Reg::RAX) | (gpr(*m, Reg::RDX) << 32);
@@ -352,10 +360,10 @@ TEST(Counters, ProgrammableCounterViaMsrInterface)
     m->arch().writeGpr(Reg::RCX, 64, msr::kPerfEvtSel0);
     m->arch().writeGpr(Reg::RAX, 64, evtsel & 0xFFFFFFFF);
     m->arch().writeGpr(Reg::RDX, 64, evtsel >> 32);
-    m->execute(assemble("wrmsr"));
+    execProgram(*m, assemble("wrmsr"));
     EXPECT_EQ(m->pmu().progEvent(0), EventId::UopsIssued);
 
-    m->execute(assemble("xor RCX, RCX; rdpmc; mov RSI, RAX; "
+    execProgram(*m, assemble("xor RCX, RCX; rdpmc; mov RSI, RAX; "
                         "add RBX, 1; add RBX, 1; add RBX, 1;"
                         "xor RCX, RCX; rdpmc"));
     std::uint64_t diff = gpr(*m, Reg::RAX) - gpr(*m, Reg::RSI);
@@ -367,10 +375,10 @@ TEST(Counters, PauseResumeGating)
     auto m = makeMachine();
     m->pmu().configureProg(0, sim::EventCode{0x0E, 0x01});
     auto total_before = m->pmu().total(EventId::UopsIssued);
-    m->execute(assemble("pfc_pause; add RAX, 1; add RAX, 1; pfc_resume"));
+    execProgram(*m, assemble("pfc_pause; add RAX, 1; add RAX, 1; pfc_resume"));
     auto gated = m->pmu().total(EventId::UopsIssued) - total_before;
     EXPECT_EQ(gated, 0u);
-    m->execute(assemble("add RAX, 1"));
+    execProgram(*m, assemble("add RAX, 1"));
     EXPECT_GT(m->pmu().total(EventId::UopsIssued), total_before);
 }
 
@@ -385,8 +393,8 @@ TEST(Counters, UnfencedReadSamplesEarly)
             body += "imul RBX, RBX;";
         body += fenced ? "lfence; mov RCX, 0x40000001; rdpmc"
                        : "mov RCX, 0x40000001; rdpmc";
-        m->execute(assemble("mov RBX, 3"));
-        m->execute(assemble(body));
+        execProgram(*m, assemble("mov RBX, 3"));
+        execProgram(*m, assemble(body));
         return gpr(*m, Reg::RAX) - gpr(*m, Reg::RSI);
     };
     std::uint64_t fenced = measure(true);
@@ -401,7 +409,7 @@ TEST(Counters, CpuidHasVariableCost)
     std::vector<std::uint64_t> costs;
     for (int i = 0; i < 10; ++i) {
         Cycles before = m->cycles();
-        m->execute(assemble("cpuid"));
+        execProgram(*m, assemble("cpuid"));
         costs.push_back(m->cycles() - before);
     }
     // Not all executions take the same time (Paoloni's observation).
@@ -412,7 +420,7 @@ TEST(Counters, CpuidHasVariableCost)
 TEST(Counters, AperfMperfViaRdmsr)
 {
     auto m = makeMachine();
-    m->execute(assemble("imul RAX, RAX; imul RAX, RAX; imul RAX, RAX"));
+    execProgram(*m, assemble("imul RAX, RAX; imul RAX, RAX; imul RAX, RAX"));
     std::uint64_t aperf = m->readMsr(msr::kAperf);
     std::uint64_t mperf = m->readMsr(msr::kMperf);
     EXPECT_GT(aperf, 0u);
@@ -428,7 +436,7 @@ TEST(Counters, UncoreCountersKernelOnly)
     // The MSR path itself is privileged at the instruction level.
     auto u = makeMachine("Skylake", false);
     u->arch().writeGpr(Reg::RCX, 64, msr::kCboxLookupBase);
-    EXPECT_THROW(u->execute(assemble("rdmsr")), FatalError);
+    EXPECT_THROW(execProgram(*u, assemble("rdmsr")), FatalError);
 }
 
 // -------------------------------------------------------- interrupts --
@@ -442,7 +450,7 @@ TEST(Interrupts, PerturbOnlyWhenEnabled)
         auto before = m.pmu().total(EventId::InstrRetired);
         std::vector<x86::Instruction> code =
             assemble("mov R15, 2000000; l: dec R15; jnz l");
-        ExecStats stats = m.execute(code);
+        ExecStats stats = execProgram(m, code);
         EXPECT_EQ(stats.interrupts > 0, irq_enabled);
         return m.pmu().total(EventId::InstrRetired) - before;
     };
@@ -455,9 +463,9 @@ TEST(Interrupts, PerturbOnlyWhenEnabled)
 TEST(Interrupts, CliStiControl)
 {
     auto m = makeMachine();
-    m->execute(assemble("sti"));
+    execProgram(*m, assemble("sti"));
     EXPECT_TRUE(m->interruptsEnabled());
-    m->execute(assemble("cli"));
+    execProgram(*m, assemble("cli"));
     EXPECT_FALSE(m->interruptsEnabled());
 }
 
@@ -510,18 +518,18 @@ TEST(Tlb, MachineCountsTlbEvents)
     std::string body;
     for (int i = 0; i < 8; ++i)
         body += "mov RBX, [0x1" + std::to_string(i) + "000];";
-    m->execute(assemble(body));
+    execProgram(*m, assemble(body));
     EXPECT_EQ(m->pmu().total(EventId::DtlbMissWalk) - walks_before, 8u);
     // Re-run: all DTLB hits now.
     walks_before = m->pmu().total(EventId::DtlbMissWalk);
-    m->execute(assemble(body));
+    execProgram(*m, assemble(body));
     EXPECT_EQ(m->pmu().total(EventId::DtlbMissWalk) - walks_before, 0u);
 }
 
 TEST(Tlb, MissPenaltyExtendsLoadLatency)
 {
     auto m = makeMachine();
-    m->execute(assemble("mov R14, 0x10000; mov [R14], R14"));
+    execProgram(*m, assemble("mov R14, 0x10000; mov [R14], R14"));
     // Warm chase: 4 cycles/load; after a TLB flush the first load of
     // the page pays the walk.
     std::string chase;
@@ -545,7 +553,7 @@ TEST(Frontend, HugeCodeFootprintSlowsIssue)
     for (int i = 0; i < 20000; ++i)
         code.push_back(nop);
     Cycles before = big->cycles();
-    big->execute(code);
+    execProgram(*big, code);
     Cycles big_cycles = big->cycles() - before;
 
     auto small = makeMachine();
@@ -554,7 +562,7 @@ TEST(Frontend, HugeCodeFootprintSlowsIssue)
     Cycles sum = 0;
     for (int i = 0; i < 10; ++i) {
         before = small->cycles();
-        small->execute(small_code);
+        execProgram(*small, small_code);
         sum += small->cycles() - before;
     }
     EXPECT_GT(big_cycles, sum * 3 / 2);

@@ -36,9 +36,16 @@ Checked ratios:
   predecode_vs_legacy     BM_HotpathPredecoded / BM_HotpathLegacy
                           (the predecoded-program hot path vs
                           re-materializing + re-decoding the unrolled
-                          measurement code per execution; the baseline
-                          encodes the >= 2x simulated-instruction
-                          throughput the decode/execute split must
+                          measurement code per execution; ratcheted
+                          for the threaded executor -- the baseline
+                          now encodes >= 2.5x simulated-instruction
+                          throughput end to end)
+  dispatch_vs_predecode   BM_HotpathPredecoded / BM_HotpathSwitchDispatch
+                          (the threaded computed-goto SoA executor
+                          with batched PMU accounting vs the frozen
+                          switch-based reference on the SAME
+                          predecoded program; the baseline encodes
+                          the >= 1.5x win threaded dispatch must
                           keep delivering)
   lint_overhead           BM_CampaignLint/lint:1 / BM_CampaignLint/lint:0
                           (an identical campaign with every spec opted
@@ -68,6 +75,7 @@ RATIOS = {
     "table_dedup_vs_nodedup": ("BM_TableCampaign/1", "BM_TableNoDedup"),
     "profile_jobs4_vs_serial": ("BM_ProfileCampaign/4", "BM_ProfileSerial"),
     "predecode_vs_legacy": ("BM_HotpathPredecoded", "BM_HotpathLegacy"),
+    "dispatch_vs_predecode": ("BM_HotpathPredecoded", "BM_HotpathSwitchDispatch"),
     "lint_overhead": ("BM_CampaignLint/lint:1", "BM_CampaignLint/lint:0"),
 }
 
