@@ -19,9 +19,12 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+
+#include "analysis/bound.hh"
 
 #include "common/logging.hh"
 #include "core/json.hh"
@@ -258,6 +261,15 @@ deadRuleExemptClass(x86::InstrClass cls)
     return cls == IC::Fence || cls == IC::Serialize ||
            cls == IC::CounterRead || cls == IC::System ||
            cls == IC::Nop || cls == IC::Magic;
+}
+
+/** Compact display rendering of a double for diagnostics. */
+std::string
+shortDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
 }
 
 void
@@ -552,6 +564,16 @@ Context::forRunner(const core::Runner &runner)
     ctx.resultBase = runner.resultArea();
     ctx.resultSize = core::layout::kAreaSize;
     return ctx;
+}
+
+Context
+Context::forCampaign(
+    core::Runner &runner,
+    const std::function<void(core::Runner &)> &machineSetup)
+{
+    if (machineSetup)
+        machineSetup(runner);
+    return forRunner(runner);
 }
 
 Report
@@ -868,6 +890,66 @@ analyzeSpec(const uarch::MicroArch &ua,
         }
     }
 
+    // R7: model consistency -- the declared measurement intent vs the
+    // bottleneck the static performance model predicts for the body
+    // (analysis/bound.hh; the uops.info latency/throughput split).
+    if (ctx.intent != Context::Intent::None &&
+        body_prog.entryCount() > 0) {
+        BoundReport bound = analyzeBounds(ua, body_prog);
+        std::string bounds_txt =
+            "latency " + shortDouble(bound.latencyBound) +
+            " vs ports " + shortDouble(bound.portBound) +
+            " vs front-end " + shortDouble(bound.frontEndBound) +
+            " cycles/copy";
+        if (ctx.intent == Context::Intent::Latency &&
+            bound.bottleneck != Bottleneck::Latency) {
+            // An architectural chain that carries no guaranteed
+            // timing edge (LEA and pure-store address operands: the
+            // scheduler reads address registers without stalling on
+            // them) is a property of the instruction, not a planner
+            // mistake -- informational, like the ADC/SBB flags
+            // serialization below. No chain at all is an error.
+            if (chainExists(body_prog, false)) {
+                addDiag(rep, "R7", Severity::Info, Segment::Body, -1,
+                        "",
+                        "declared a latency measurement, but the "
+                        "dependency chain is address-carried and the "
+                        "scheduler does not serialize address-"
+                        "register reads of non-load uops (" +
+                            bounds_txt +
+                            "); expect the measurement to "
+                            "underestimate the architectural "
+                            "latency");
+            } else {
+                addDiag(rep, "R7", Severity::Error, Segment::Body, -1,
+                        "",
+                        "declared a latency measurement, but the "
+                        "model predicts a " +
+                            std::string(
+                                bottleneckName(bound.bottleneck)) +
+                            "-bound body (" + bounds_txt +
+                            "); the dependency chain does not bind "
+                            "the measured cycles");
+            }
+        } else if (ctx.intent == Context::Intent::Throughput &&
+                   bound.bottleneck == Bottleneck::Latency) {
+            std::int32_t idx = bound.criticalPath.empty()
+                                   ? -1
+                                   : bound.criticalPath[0].index;
+            std::string insn =
+                bound.criticalPath.empty()
+                    ? std::string()
+                    : bound.criticalPath[0].insn;
+            addDiag(rep, "R7", Severity::Info, Segment::Body, idx,
+                    std::move(insn),
+                    "declared a throughput measurement, but the "
+                    "model predicts the loop-carried dependency "
+                    "chain binds (" +
+                        bounds_txt +
+                        "); expect chain-serialized results");
+        }
+    }
+
     std::stable_sort(rep.diagnostics.begin(), rep.diagnostics.end(),
                      [](const Diagnostic &a, const Diagnostic &b) {
                          return a.rule < b.rule;
@@ -918,6 +1000,8 @@ lintCacheKey(const uarch::MicroArch &ua,
     key += std::to_string(ctx.resultSize);
     key += ',';
     key += std::to_string(static_cast<unsigned>(ctx.chain));
+    key += ',';
+    key += std::to_string(static_cast<unsigned>(ctx.intent));
     key += '\0';
     key += core::specCanonicalKey(spec);
     return key;

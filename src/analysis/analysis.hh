@@ -38,6 +38,19 @@
  *      body observes readout flags instead. Exception: CF = 0 from a
  *      trailing logic instruction feeding carry-only readers does
  *      survive (the readout's OR accumulation also clears CF)
+ *  R7  model consistency: the spec's declared measurement intent
+ *      (Context::Intent, the Characterizer role tags) disagrees with
+ *      the bottleneck the static performance model (analysis/bound.hh)
+ *      predicts. A "latency" spec whose predicted bottleneck is ports
+ *      or the front end is an error when no loop-carried chain
+ *      threads the body at all; when an architectural chain exists
+ *      but carries no timing edge (LEA address operands: the
+ *      scheduler reads address registers of non-load uops without
+ *      stalling) it is informational, a property of the instruction
+ *      rather than the plan. A "throughput" spec predicted
+ *      latency-bound is informational only: some instructions (ADC,
+ *      SBB) genuinely serialize on flags no matter how the planner
+ *      arranges the copies
  *
  * Diagnostics round-trip through JSON and CSV (core/json.hh /
  * core/result.hh helpers), and analyzeSpecCached() memoizes whole
@@ -49,6 +62,7 @@
 #define NB_ANALYSIS_ANALYSIS_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -163,8 +177,35 @@ struct Context
     };
     Chain chain = Chain::Auto;
 
+    /** R7 declared measurement intent. */
+    enum class Intent : std::uint8_t
+    {
+        /** No declared intent; R7 is skipped. */
+        None,
+        /** The spec claims a loop-carried latency chain binds. */
+        Latency,
+        /** The spec claims throughput / port pressure binds. */
+        Throughput,
+    };
+    Intent intent = Intent::None;
+
     /** Context with the live memory geometry of @p runner. */
     static Context forRunner(const core::Runner &runner);
+
+    /**
+     * Context with the memory geometry @p runner will have *after* a
+     * campaign's per-spec machineSetup hook runs (the hook is applied
+     * to the runner first, then forRunner() reads the result). Lets
+     * profile-style campaign specs -- planned against an enlarged R14
+     * area that only exists once the hook reserves it -- lint with
+     * exact R5 bounds instead of the conservative fresh-runner
+     * default. The hook is required to be idempotent
+     * (CampaignOptions::machineSetup's contract), so applying it at
+     * plan-lint time and again at run time is safe.
+     */
+    static Context
+    forCampaign(core::Runner &runner,
+                const std::function<void(core::Runner &)> &machineSetup);
 };
 
 /**

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/analysis.hh"
+#include "analysis/bound.hh"
 #include "common/logging.hh"
 #include "common/strings.hh"
 #include "core/campaign.hh"
@@ -103,6 +104,13 @@ printUsage()
         "                       diagnostics (rules R0-R6, see README\n"
         "                       \"Spec linting\"); exit 1 if any spec\n"
         "                       has an error-severity diagnostic\n"
+        "  -explain             statically predict each queued spec's\n"
+        "                       performance bounds instead of running\n"
+        "                       it: bottleneck class, per-port\n"
+        "                       utilization, and the critical latency\n"
+        "                       cycle (see README \"Static performance\n"
+        "                       bounds\"); exit 1 if any spec fails to\n"
+        "                       assemble or decode\n"
         "  -lint_level <l>      off | warn | error (default off): fail\n"
         "                       a *measurement* run with a lint-error\n"
         "                       when the analyzer finds diagnostics at\n"
@@ -155,6 +163,7 @@ main(int argc, char **argv)
     bool characterize = false;
     bool fresh_machine = false;
     bool lint = false;
+    bool explain = false;
     bool show_stats = false;
     std::string spec_file;
     std::string report_path;
@@ -247,6 +256,8 @@ main(int argc, char **argv)
                 shared.aperfMperf = true;
             } else if (arg == "-lint") {
                 lint = true;
+            } else if (arg == "-explain") {
+                explain = true;
             } else if (arg == "-stats") {
                 show_stats = true;
             } else if (arg == "-lint_level") {
@@ -524,6 +535,79 @@ main(int argc, char **argv)
                                       ? std::string(
                                             "clean (no diagnostics)\n")
                                       : report.format());
+                    break;
+                  case OutputFormat::Json:
+                    std::cout << report.toJson();
+                    if (json_array && !last)
+                        std::cout << ",";
+                    break;
+                  case OutputFormat::Csv:
+                    std::cout << report.toCsv();
+                    break;
+                }
+                if (format != OutputFormat::Json &&
+                    queued.size() > 1 && !last)
+                    std::cout << "\n";
+            }
+            if (json_array)
+                std::cout << "]\n";
+            return any_error ? 1 : 0;
+        }
+
+        // --------------------- explain verb ---------------------
+
+        if (explain) {
+            const auto &ua = uarch::getMicroArch(session_opt.uarch);
+            bool any_error = false;
+            bool json_array =
+                format == OutputFormat::Json && queued.size() > 1;
+            if (json_array)
+                std::cout << "[\n";
+            for (std::size_t i = 0; i < queued.size(); ++i) {
+                bool last = i + 1 == queued.size();
+                if (queued.size() > 1 && format == OutputFormat::Csv) {
+                    std::cout << "# benchmark " << i + 1 << "/"
+                              << queued.size() << "\n";
+                }
+                std::optional<RunError> failure = preset[i];
+                analysis::BoundReport report;
+                if (!failure) {
+                    try {
+                        // Assembly and decode errors become per-spec
+                        // failures, like the lint verb.
+                        ScopedFatalMessageSuppression suppress;
+                        report = analysis::analyzeBounds(ua,
+                                                         queued[i]);
+                    } catch (const FatalError &e) {
+                        failure = RunError{
+                            RunError::Code::AssemblyError, e.what()};
+                    }
+                }
+                if (failure) {
+                    any_error = true;
+                    std::cerr << "spec " << i + 1 << "/"
+                              << queued.size() << " failed ("
+                              << runErrorCodeName(failure->code)
+                              << "): " << failure->message << "\n";
+                    if (format == OutputFormat::Json) {
+                        std::cout << "{\"error\": {\"code\": \""
+                                  << runErrorCodeName(failure->code)
+                                  << "\", \"message\": \""
+                                  << jsonEscape(failure->message)
+                                  << "\"}}"
+                                  << (json_array && !last ? "," : "")
+                                  << "\n";
+                    }
+                    if (format == OutputFormat::Csv && !last)
+                        std::cout << "\n";
+                    continue;
+                }
+                switch (format) {
+                  case OutputFormat::Text:
+                    if (queued.size() > 1)
+                        std::cout << "## " << queued[i].summary()
+                                  << "\n";
+                    std::cout << report.format();
                     break;
                   case OutputFormat::Json:
                     std::cout << report.toJson();

@@ -533,6 +533,68 @@ TEST(AnalysisCache, ContextIsPartOfTheKey)
     EXPECT_TRUE(strict.hasRule("R3"));
 }
 
+// ------------------------------------------ R7: model consistency --
+
+TEST(AnalysisR7, LatencyIntentWithoutBindingChainIsError)
+{
+    // MOV RAX, RBX never threads back to itself: the static model
+    // predicts a throughput-bound body, so a declared latency
+    // measurement is inconsistent.
+    Context ctx;
+    ctx.intent = Context::Intent::Latency;
+    Report rep = analyze(asmSpec("mov RAX, RBX"), ctx);
+    ASSERT_TRUE(rep.hasRule("R7"));
+    EXPECT_EQ(rep.count(Severity::Error), 1u);
+}
+
+TEST(AnalysisR7, LatencyIntentWithBindingChainIsClean)
+{
+    Context ctx;
+    ctx.intent = Context::Intent::Latency;
+    Report rep = analyze(asmSpec("add RAX, RAX"), ctx);
+    EXPECT_FALSE(rep.hasRule("R7"));
+}
+
+TEST(AnalysisR7, FlagSerializedThroughputIsInfoOnly)
+{
+    // ADC chains through RFLAGS no matter how copies are arranged
+    // (the uops.info special case): worth surfacing, not an error.
+    Context ctx;
+    ctx.intent = Context::Intent::Throughput;
+    Report rep = analyze(asmSpec("adc RAX, RBX"), ctx);
+    ASSERT_TRUE(rep.hasRule("R7"));
+    EXPECT_EQ(rep.count(Severity::Info), 1u);
+    EXPECT_TRUE(rep.clean());
+}
+
+TEST(AnalysisR7, ThroughputIntentOnParallelMixIsClean)
+{
+    Context ctx;
+    ctx.intent = Context::Intent::Throughput;
+    Report rep = analyze(
+        asmSpec("lea RAX, [RBX]; lea RCX, [RBX]; lea RDX, [RBX]"),
+        ctx);
+    EXPECT_FALSE(rep.hasRule("R7"));
+}
+
+TEST(AnalysisR7, NoDeclaredIntentSkipsTheRule)
+{
+    Report rep = analyze(asmSpec("mov RAX, RBX"));
+    EXPECT_FALSE(rep.hasRule("R7"));
+}
+
+TEST(AnalysisR7, IntentIsPartOfTheCacheKey)
+{
+    core::BenchmarkSpec spec = asmSpec("mov RAX, 987656");
+    Context latency;
+    latency.intent = Context::Intent::Latency;
+    Report lazy = analysis::analyzeSpecCached(skylake(), spec, {});
+    Report strict =
+        analysis::analyzeSpecCached(skylake(), spec, latency);
+    EXPECT_FALSE(lazy.hasRule("R7"));
+    EXPECT_TRUE(strict.hasRule("R7"));
+}
+
 // ------------------------------ planner self-verification sweep --
 
 TEST(AnalysisSweep, CharacterizerPlansLintCleanOnAllUarches)
@@ -550,6 +612,11 @@ TEST(AnalysisSweep, CharacterizerPlansLintCleanOnAllUarches)
                 ps.role == uops::PlannedSpec::Role::Latency
                     ? Context::Chain::Expect
                     : Context::Chain::Auto;
+            // R7: the role tag is the declared measurement intent.
+            ctx.intent =
+                ps.role == uops::PlannedSpec::Role::Latency
+                    ? Context::Intent::Latency
+                    : Context::Intent::Throughput;
             Report rep =
                 analysis::analyzeSpecCached(ua, ps.spec, ctx);
             ASSERT_TRUE(rep.clean())
@@ -571,8 +638,17 @@ TEST(AnalysisSweep, ProfilePlansLintCleanOnAllUarches)
         opt.duelingScan = false;
         profile::ProfilePlan plan = profile::planMachineProfile(opt);
         const uarch::MicroArch &ua = uarch::getMicroArch(name);
-        Context ctx;
-        ctx.r14Size = std::max(ctx.r14Size, plan.r14Size);
+        // Lint against the exact machine state the campaign will
+        // build, not a conservative fresh-runner default: forCampaign
+        // applies the same machineSetup hook buildMachineProfile
+        // passes to Engine::runCampaign (idempotent by contract).
+        SessionOptions sopt;
+        sopt.uarch = name;
+        Session session = sweepEngine().session(sopt);
+        Context ctx = Context::forCampaign(
+            session.runner(), [&plan](core::Runner &runner) {
+                profile::prepareProfileMachine(runner, plan);
+            });
         for (std::size_t i = 0; i < plan.specs.size(); ++i) {
             Report rep = analysis::analyzeSpecCached(
                 ua, plan.specs[i], ctx);

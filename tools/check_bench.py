@@ -53,11 +53,18 @@ Checked ratios:
                           report memo keys on the canonical spec key,
                           so steady-state lint cost must stay near
                           zero)
+  bound_overhead          BM_CampaignBound/bound:1 / BM_CampaignBound/bound:0
+                          (an identical campaign with every spec also
+                          run through the memoized static bound
+                          analyzer vs the plain campaign; the bound
+                          memo keys on the canonical spec key, so
+                          steady-state bound analysis must stay near
+                          zero)
 
 Usage:
   check_bench.py --baseline bench/BENCH_baseline.json \
       --out BENCH_ci.json simperf.json campaign.json table.json \
-      profile.json hotpath.json analysis.json
+      profile.json hotpath.json analysis.json bound.json
 """
 
 import argparse
@@ -77,6 +84,7 @@ RATIOS = {
     "predecode_vs_legacy": ("BM_HotpathPredecoded", "BM_HotpathLegacy"),
     "dispatch_vs_predecode": ("BM_HotpathPredecoded", "BM_HotpathSwitchDispatch"),
     "lint_overhead": ("BM_CampaignLint/lint:1", "BM_CampaignLint/lint:0"),
+    "bound_overhead": ("BM_CampaignBound/bound:1", "BM_CampaignBound/bound:0"),
 }
 
 

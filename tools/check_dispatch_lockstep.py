@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Lockstep check between the OpClass enum and the threaded dispatcher.
+
+The threaded executor (src/sim/dispatch.cc) indexes a computed-goto
+handler table by OpClass, so the table must list exactly one `&&op_*`
+label per enumerator *in declaration order* -- a reordered or missing
+entry silently dispatches the wrong semantics with no compiler
+diagnostic beyond the table-size static_assert. This script re-derives
+the contract from the sources so CI catches drift at review time:
+
+  1. parses the OpClass enumerators from src/sim/program.hh
+     (NumClasses excluded),
+  2. parses the `&&op_*` labels out of the dispatcher's handlers[]
+     table in declaration order,
+  3. checks one-to-one positional correspondence, comparing the
+     CamelCase enumerator against the snake_case label with
+     underscores stripped (AddAdc <-> op_add_adc, SFence <->
+     op_sfence),
+  4. checks every table label has a matching `op_<name>:` handler
+     definition in dispatch.cc,
+  5. checks the scheduling-primitive lambdas in dispatch.cc still
+     name-match their frozen Machine counterparts in machine.cc
+     (issue_slot <-> Machine::issueSlot, dispatch_uop <->
+     Machine::dispatchUop, retire_insn <-> Machine::retireInstr),
+     which tests/test_dispatch_parity.cc diffs cycle-for-cycle,
+  6. checks the table-size static_assert against kNumOpClasses is
+     still present.
+
+Usage:
+  check_dispatch_lockstep.py [--repo /path/to/repo]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# dispatch.cc scheduling lambda -> frozen Machine member it mirrors
+PRIMITIVE_PAIRS = {
+    "issue_slot": "issueSlot",
+    "dispatch_uop": "dispatchUop",
+    "retire_insn": "retireInstr",
+}
+
+
+def parse_opclass(program_hh):
+    text = program_hh.read_text()
+    match = re.search(
+        r"enum class OpClass[^{]*\{(.*?)\};", text, re.DOTALL
+    )
+    if not match:
+        sys.exit(f"error: no OpClass enum found in {program_hh}")
+    names = []
+    for line in match.group(1).splitlines():
+        line = re.sub(r"//.*", "", line).strip().rstrip(",")
+        if re.fullmatch(r"[A-Za-z_]\w*", line):
+            names.append(line)
+    if not names or names[-1] != "NumClasses":
+        sys.exit(
+            "error: OpClass parse failed (expected a trailing "
+            "NumClasses sentinel)"
+        )
+    return names[:-1]
+
+
+def parse_handler_table(dispatch_cc):
+    text = dispatch_cc.read_text()
+    match = re.search(
+        r"handlers\[\]\s*=\s*\{(.*?)\};", text, re.DOTALL
+    )
+    if not match:
+        sys.exit(f"error: no handlers[] table found in {dispatch_cc}")
+    return re.findall(r"&&(op_\w+)", match.group(1)), text
+
+
+def fold(name):
+    """Case/underscore-insensitive spelling: AddAdc == op_add_adc."""
+    return name.lower().replace("_", "").removeprefix("op")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repo",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root (default: this script's parent)",
+    )
+    args = parser.parse_args()
+    src = args.repo / "src" / "sim"
+
+    enumerators = parse_opclass(src / "program.hh")
+    labels, dispatch_text = parse_handler_table(src / "dispatch.cc")
+    machine_text = (src / "machine.cc").read_text()
+
+    failed = False
+
+    def fail(msg):
+        nonlocal failed
+        failed = True
+        print(f"error: {msg}")
+
+    # 3. positional one-to-one correspondence
+    if len(labels) != len(enumerators):
+        fail(
+            f"handlers[] has {len(labels)} entries but OpClass has "
+            f"{len(enumerators)} enumerators"
+        )
+    for i, (enum_name, label) in enumerate(zip(enumerators, labels)):
+        if fold(enum_name) != fold(label):
+            fail(
+                f"handlers[{i}] is &&{label} but OpClass slot {i} is "
+                f"{enum_name} (expected op_{enum_name} in snake_case)"
+            )
+
+    # 4. every label has a handler definition
+    for label in labels:
+        if not re.search(rf"^\s*{label}:", dispatch_text, re.MULTILINE):
+            fail(f"no '{label}:' handler definition in dispatch.cc")
+
+    # 5. scheduling primitives stay name-paired with Machine
+    for lam, member in PRIMITIVE_PAIRS.items():
+        if not re.search(rf"\bauto {lam}\s*=", dispatch_text):
+            fail(f"dispatch.cc lost the '{lam}' scheduling lambda")
+        if not re.search(rf"\bMachine::{member}\b", machine_text):
+            fail(f"machine.cc lost the 'Machine::{member}' primitive")
+
+    # 6. the compile-time size guard is still in place
+    if not re.search(
+        r"static_assert\(sizeof\(handlers\)\s*/\s*sizeof\(handlers\[0\]\)"
+        r"\s*==\s*\n?\s*kNumOpClasses\)",
+        dispatch_text,
+    ):
+        fail("dispatch.cc lost the handlers[] size static_assert")
+
+    if failed:
+        sys.exit("error: dispatch lockstep check failed (see above)")
+    print(
+        f"dispatch lockstep check passed: {len(enumerators)} OpClass "
+        f"handlers in declaration order, "
+        f"{len(PRIMITIVE_PAIRS)} primitive pairs"
+    )
+
+
+if __name__ == "__main__":
+    main()
