@@ -48,11 +48,17 @@ main()
     options.jobs = 4;               // worker threads (0 = all cores)
     options.session.uarch = "Skylake";
     options.session.config = CounterConfig::forMicroArch("Skylake");
-    options.progress = [](std::size_t done, std::size_t total) {
+    options.progress = [](const CampaignProgress &event) {
         // Called under the campaign's own mutex: no locking needed
-        // here even though workers run concurrently.
-        std::cerr << "\rmeasured " << done << "/" << total
-                  << (done == total ? " specs\n" : " specs");
+        // here even though workers run concurrently. Start events
+        // carry the spec in flight; settle events bump the count.
+        if (event.starting) {
+            std::cerr << "\rrunning " << event.specLabel << " ...";
+            return;
+        }
+        std::cerr << "\rmeasured " << event.done << "/" << event.total
+                  << (event.done == event.total ? " specs\n"
+                                                : " specs    ");
     };
 
     CampaignResult campaign = engine.runCampaign(specs, options);

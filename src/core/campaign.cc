@@ -239,6 +239,17 @@ CampaignReport::toJson() const
     for (std::size_t i = 0; i < perWorkerSpecs.size(); ++i)
         os << (i ? ", " : "") << perWorkerSpecs[i];
     os << "],\n";
+    os << "  \"per_worker_seconds\": [";
+    for (std::size_t i = 0; i < perWorkerSeconds.size(); ++i)
+        os << (i ? ", " : "") << core::exactDouble(perWorkerSeconds[i]);
+    os << "],\n";
+    os << "  \"phases\": {";
+    for (unsigned i = 0; i < obs::kNumPhases; ++i) {
+        os << (i ? ", " : "") << "\""
+           << obs::phaseName(static_cast<obs::Phase>(i))
+           << "\": " << phaseTimes.ns[i];
+    }
+    os << "},\n";
     os << "  \"errors\": {";
     bool first = true;
     for (unsigned i = 0; i < errorHistogram.size(); ++i) {
@@ -275,6 +286,14 @@ CampaignReport::toCsv() const
     os << "wall_seconds," << core::exactDouble(wallSeconds) << "\n";
     for (std::size_t i = 0; i < perWorkerSpecs.size(); ++i)
         os << "worker_" << i << "_specs," << perWorkerSpecs[i] << "\n";
+    for (std::size_t i = 0; i < perWorkerSeconds.size(); ++i) {
+        os << "worker_" << i << "_seconds,"
+           << core::exactDouble(perWorkerSeconds[i]) << "\n";
+    }
+    for (unsigned i = 0; i < obs::kNumPhases; ++i) {
+        os << "phase_" << obs::phaseName(static_cast<obs::Phase>(i))
+           << "_ns," << phaseTimes.ns[i] << "\n";
+    }
     for (unsigned i = 0; i < errorHistogram.size(); ++i) {
         if (!errorHistogram[i])
             continue;
@@ -328,6 +347,31 @@ CampaignReport::fromJson(const std::string &text)
                                 cur.parseNumber()));
                     } while (cur.tryConsume(','));
                     cur.expect(']');
+                }
+            } else if (key == "per_worker_seconds") {
+                cur.expect('[');
+                if (!cur.tryConsume(']')) {
+                    do {
+                        report.perWorkerSeconds.push_back(
+                            cur.parseNumber());
+                    } while (cur.tryConsume(','));
+                    cur.expect(']');
+                }
+            } else if (key == "phases") {
+                cur.expect('{');
+                if (!cur.tryConsume('}')) {
+                    do {
+                        std::string name = cur.parseString();
+                        cur.expect(':');
+                        double ns = cur.parseNumber();
+                        unsigned idx = obs::phaseIndexFromName(name);
+                        if (idx >= obs::kNumPhases)
+                            fatal("campaign report: unknown phase '",
+                                  name, "'");
+                        report.phaseTimes.ns[idx] =
+                            static_cast<std::uint64_t>(ns);
+                    } while (cur.tryConsume(','));
+                    cur.expect('}');
                 }
             } else if (key == "errors") {
                 cur.expect('{');
@@ -414,6 +458,35 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
     campaign.report.uniqueSpecs = unique_count;
     campaign.report.cacheHits = specs.size() - unique_count;
     campaign.report.perWorkerSpecs.assign(jobs, 0);
+    campaign.report.perWorkerSeconds.assign(jobs, 0.0);
+
+    // Keys and labels for progress events and trace spans, resolved
+    // once outside the workers (and not at all when nobody listens).
+    obs::Tracer *tracer = options.trace && options.trace->enabled()
+                              ? options.trace
+                              : nullptr;
+    std::vector<std::string> spec_keys;
+    std::vector<std::string> spec_labels;
+    if (options.progress || tracer) {
+        spec_keys.resize(unique_count);
+        spec_labels.resize(unique_count);
+        for (std::size_t u = 0; u < unique_count; ++u) {
+            spec_keys[u] = specCanonicalKey(specs[uniqueIdx[u]]);
+            spec_labels[u] = specs[uniqueIdx[u]].summary();
+        }
+    }
+    if (tracer) {
+        // The whole-campaign span lives on its own lane past the
+        // worker lanes (tid = worker index).
+        tracer->nameLane(jobs, "campaign");
+        tracer->begin(jobs, "campaign", "specs",
+                      std::to_string(specs.size()));
+    }
+
+    // Per-worker accounting sinks, folded into the report (and, for
+    // the observers, the process registry) after the join.
+    std::vector<obs::PhaseTimes> worker_phases(jobs);
+    std::vector<sim::ExecObserver> observers(jobs);
 
     // RunOutcome has no default state, hence the optional wrapper;
     // every slot is filled unless a worker aborted by exception.
@@ -429,7 +502,23 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
     // uarch descriptor once, outside the workers.
     const uarch::MicroArch &ua = uarch::getMicroArch(session_opt.uarch);
 
+    // Pooled machines outlive the campaign (and the observers vector),
+    // so an attached observer must be detached on every worker exit
+    // path, including exceptions and aborts.
+    struct ObserverScope
+    {
+        sim::Machine *machine = nullptr;
+        ~ObserverScope()
+        {
+            if (machine)
+                machine->setExecObserver(nullptr);
+        }
+    };
+
     auto worker = [&](unsigned w) {
+        auto worker_start = std::chrono::steady_clock::now();
+        if (tracer)
+            tracer->nameLane(w, "worker " + std::to_string(w));
         try {
             // A pooled replica per worker in the default mode; in
             // freshMachinePerSpec mode no pooled machine is used at
@@ -437,16 +526,37 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
             // so its outcome cannot depend on which worker ran it or
             // which specs preceded it (layout invariance).
             std::optional<Session> session;
+            ObserverScope observer_scope;
+            obs::PhaseTimes phase_base;
             if (!options.freshMachinePerSpec) {
                 SessionOptions opt = session_opt;
                 opt.replica = w;
                 session.emplace(this->session(opt));
                 if (options.machineSetup)
                     options.machineSetup(session->runner());
+                if (options.observe) {
+                    session->machine().setExecObserver(&observers[w]);
+                    observer_scope.machine = &session->machine();
+                }
+                // The pooled runner's phase accumulator carries
+                // earlier campaigns; window it to this one.
+                phase_base = session->runner().phaseTimes();
             }
             for (std::size_t u = w; u < unique_count; u += jobs) {
                 if (abort.load(std::memory_order_relaxed))
                     return;
+                if (options.progress) {
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    CampaignProgress event;
+                    event.done = settled;
+                    event.total = specs.size();
+                    event.specKey = spec_keys[u];
+                    event.specLabel = spec_labels[u];
+                    event.starting = true;
+                    options.progress(event);
+                }
+                if (tracer)
+                    tracer->begin(w, spec_labels[u]);
                 if (options.freshMachinePerSpec) {
                     sim::Machine machine(ua, session_opt.seed);
                     core::Runner runner(machine, session_opt.mode);
@@ -456,21 +566,43 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
                     runner.setSharedProgramCache(programCache_);
                     if (options.machineSetup)
                         options.machineSetup(runner);
+                    // The machine dies with this iteration, so no
+                    // detach is needed here.
+                    if (options.observe)
+                        machine.setExecObserver(&observers[w]);
                     core::BenchmarkSpec resolved = specs[uniqueIdx[u]];
                     if (resolved.config.empty())
                         resolved.config = session_opt.config;
                     unique_outcomes[u] =
                         runSpecOnRunner(runner, std::move(resolved));
+                    worker_phases[w] += runner.phaseTimes();
                 } else {
                     unique_outcomes[u] =
                         session->run(specs[uniqueIdx[u]]);
                 }
+                if (tracer)
+                    tracer->end(w, spec_labels[u]);
                 ++campaign.report.perWorkerSpecs[w];
                 std::lock_guard<std::mutex> lock(progress_mutex);
                 settled += multiplicity[u];
-                if (options.progress)
-                    options.progress(settled, specs.size());
+                if (options.progress) {
+                    CampaignProgress event;
+                    event.done = settled;
+                    event.total = specs.size();
+                    event.specKey = spec_keys[u];
+                    event.specLabel = spec_labels[u];
+                    event.starting = false;
+                    options.progress(event);
+                }
             }
+            if (session) {
+                worker_phases[w] =
+                    session->runner().phaseTimes() - phase_base;
+            }
+            campaign.report.perWorkerSeconds[w] =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - worker_start)
+                    .count();
         } catch (...) {
             std::lock_guard<std::mutex> lock(progress_mutex);
             if (!failure)
@@ -491,8 +623,44 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
         for (auto &thread : threads)
             thread.join();
     }
+    if (tracer)
+        tracer->end(jobs, "campaign");
     if (failure)
         std::rethrow_exception(failure);
+
+    for (const obs::PhaseTimes &pt : worker_phases)
+        campaign.report.phaseTimes += pt;
+
+    if (options.observe) {
+        // Fold the per-worker observations into the process registry;
+        // the -observe campaign path and the golden-invariance gate
+        // read them back from a snapshot.
+        obs::Registry &reg = obs::Registry::process();
+        sim::ExecObserver total;
+        for (const sim::ExecObserver &o : observers) {
+            for (unsigned p = 0; p < sim::ExecObserver::kMaxPorts; ++p)
+                total.portUops[p] += o.portUops[p];
+            total.uopsIssued += o.uopsIssued;
+            total.uopsDispatched += o.uopsDispatched;
+            total.retireStallCycles += o.retireStallCycles;
+            total.instructions += o.instructions;
+            total.cycles += o.cycles;
+        }
+        reg.counter("campaign.observed.uops_issued")
+            .add(total.uopsIssued);
+        reg.counter("campaign.observed.uops_dispatched")
+            .add(total.uopsDispatched);
+        reg.counter("campaign.observed.retire_stall_cycles")
+            .add(total.retireStallCycles);
+        reg.counter("campaign.observed.instructions")
+            .add(total.instructions);
+        reg.counter("campaign.observed.cycles").add(total.cycles);
+        for (unsigned p = 0; p < sim::ExecObserver::kMaxPorts; ++p) {
+            reg.counter("campaign.observed.port_" + std::to_string(p) +
+                        "_uops")
+                .add(total.portUops[p]);
+        }
+    }
 
     // Resolve every input spec (duplicates share the unique outcome)
     // and fold the histogram.

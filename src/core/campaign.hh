@@ -44,9 +44,32 @@
 #include <vector>
 
 #include "core/engine.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace nb
 {
+
+/**
+ * One campaign progress event. Two events fire per unique spec: one
+ * with starting == true when a worker picks it up (so long-running
+ * campaigns are attributable -- the callback sees *which* spec is in
+ * flight, not just a count), and one with starting == false when it
+ * settles (done then includes the spec and its dedup duplicates).
+ */
+struct CampaignProgress
+{
+    /** Input specs settled so far (duplicates settle together). */
+    std::size_t done = 0;
+    /** Total input specs. */
+    std::size_t total = 0;
+    /** Canonical key (specCanonicalKey) of the spec in flight. */
+    std::string specKey;
+    /** Human-readable one-line echo (BenchmarkSpec::summary). */
+    std::string specLabel;
+    /** true: the spec just started on a worker; false: it settled. */
+    bool starting = false;
+};
 
 /** Options for Engine::runCampaign(). */
 struct CampaignOptions
@@ -94,14 +117,28 @@ struct CampaignOptions
      */
     std::function<void(core::Runner &)> machineSetup;
     /**
-     * Called after each spec completes, with the number of input
-     * specs settled so far (duplicates settle together with the
-     * unique spec that covers them) and the total. Invoked from
-     * worker threads under a campaign-internal mutex, so the callback
-     * itself need not be thread-safe; it must not call back into the
-     * campaign.
+     * Called when a spec starts on a worker and again when it settles
+     * (see CampaignProgress). Invoked from worker threads under a
+     * campaign-internal mutex, so the callback itself need not be
+     * thread-safe; it must not call back into the campaign.
      */
-    std::function<void(std::size_t done, std::size_t total)> progress;
+    std::function<void(const CampaignProgress &)> progress;
+    /**
+     * Span tracer (not owned; may be null). When set and enabled, the
+     * campaign records a whole-campaign span plus one span per unique
+     * spec on its worker's lane (tid = worker index), Perfetto-ready
+     * via obs::Tracer::writeFile. A null or disabled tracer costs one
+     * predicted branch per spec.
+     */
+    obs::Tracer *trace = nullptr;
+    /**
+     * Attach a per-worker sim::ExecObserver to each worker's machine
+     * for the duration of the campaign, and fold the totals into the
+     * process registry ("campaign.observed.*" counters). Observation
+     * never perturbs outcomes (the parity tests pin bit-identity), so
+     * golden tables may be regenerated with this on.
+     */
+    bool observe = false;
 };
 
 /** Execution statistics of one campaign. */
@@ -121,6 +158,12 @@ struct CampaignReport
     double wallSeconds = 0.0;
     /** Specs executed by each worker (size == jobs). */
     std::vector<std::size_t> perWorkerSpecs;
+    /** Wall-clock seconds each worker spent in its run loop (size ==
+     *  jobs): the spread is the static-stride load imbalance. */
+    std::vector<double> perWorkerSeconds;
+    /** Aggregate per-phase runner time across all workers
+     *  (obs::Phase): where the campaign's CPU time actually went. */
+    obs::PhaseTimes phaseTimes;
     /** Failed outcomes (over all input specs) by RunError code,
      *  indexed by static_cast<unsigned>(RunError::Code). */
     std::vector<std::size_t> errorHistogram =

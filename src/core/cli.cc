@@ -26,6 +26,9 @@
 #include "common/strings.hh"
 #include "core/campaign.hh"
 #include "core/engine.hh"
+#include "obs/metrics.hh"
+#include "obs/observe.hh"
+#include "obs/trace.hh"
 #include "uarch/uarch.hh"
 #include "profile/build.hh"
 #include "uops/table.hh"
@@ -115,9 +118,24 @@ printUsage()
         "                       a *measurement* run with a lint-error\n"
         "                       when the analyzer finds diagnostics at\n"
         "                       or above the level\n"
+        "  -observe             run each queued spec with an execution\n"
+        "                       observer attached and print predicted\n"
+        "                       (-explain bounds) vs observed per-port\n"
+        "                       pressure side by side; with\n"
+        "                       -characterize / -profile, fold the\n"
+        "                       campaign's observed totals into the\n"
+        "                       -stats registry instead\n"
+        "                       (campaign.observed.* counters)\n"
+        "  -trace <file>        write a Chrome trace-event JSON file\n"
+        "                       (load in Perfetto / chrome://tracing)\n"
+        "                       with spans for campaign, per-worker\n"
+        "                       per-spec execution, and batch runs\n"
         "  -stats               after running, dump the engine\n"
         "                       telemetry (machine pool, program\n"
-        "                       cache, assemble/lint memos) to stderr\n"
+        "                       cache, assemble/lint memos) and the\n"
+        "                       metrics registry (runner phase\n"
+        "                       histograms, observed counters) to\n"
+        "                       stderr\n"
         "  -seed <n>            simulation seed\n"
         "  -json | -csv         machine-readable output\n"
         "  -list_uarchs         list supported microarchitectures\n";
@@ -164,7 +182,9 @@ main(int argc, char **argv)
     bool fresh_machine = false;
     bool lint = false;
     bool explain = false;
+    bool observe = false;
     bool show_stats = false;
+    std::string trace_path;
     std::string spec_file;
     std::string report_path;
     std::string table_path;
@@ -258,6 +278,10 @@ main(int argc, char **argv)
                 lint = true;
             } else if (arg == "-explain") {
                 explain = true;
+            } else if (arg == "-observe") {
+                observe = true;
+            } else if (arg == "-trace") {
+                trace_path = next();
             } else if (arg == "-stats") {
                 show_stats = true;
             } else if (arg == "-lint_level") {
@@ -286,6 +310,44 @@ main(int argc, char **argv)
                 fatal("unknown option '", arg, "' (try --help)");
             }
         }
+
+        // One tracer for the whole invocation, disabled (and
+        // near-free) unless -trace was given. Verbs that execute
+        // benchmarks write it out right before they return.
+        obs::Tracer tracer;
+        if (!trace_path.empty()) {
+            // Fail an unwritable path before any measurement work.
+            std::ofstream probe(trace_path);
+            if (!probe)
+                fatal("cannot write trace file '", trace_path, "'");
+            tracer.enable();
+        }
+        auto write_trace = [&]() {
+            if (tracer.enabled())
+                tracer.writeFile(trace_path);
+        };
+        // -stats: engine telemetry (as before), now mirrored into the
+        // process metrics registry so one machine-readable dump also
+        // covers the runner phase histograms and observed counters.
+        auto print_stats = [&](Engine &engine) {
+            if (!show_stats)
+                return;
+            EngineTelemetry t = engine.telemetry();
+            obs::publishEngineTelemetry(t, obs::Registry::process());
+            obs::RegistrySnapshot snap =
+                obs::Registry::process().snapshot();
+            switch (format) {
+              case OutputFormat::Text:
+                std::cerr << t.format() << snap.format();
+                break;
+              case OutputFormat::Json:
+                std::cerr << snap.toJson();
+                break;
+              case OutputFormat::Csv:
+                std::cerr << snap.toCsv();
+                break;
+            }
+        };
 
         // ------------- machine-profile verbs (§VI) --------------
 
@@ -323,6 +385,8 @@ main(int argc, char **argv)
             // Profiles default to fresh machines (their specs assume
             // just-booted state); -fresh_machine is a no-op here.
             profile_opt.freshMachinePerSpec = true;
+            profile_opt.trace = &tracer;
+            profile_opt.observe = observe;
             if (show_progress) {
                 profile_opt.progress = [](std::size_t done,
                                           std::size_t total) {
@@ -346,6 +410,8 @@ main(int argc, char **argv)
                 else
                     report_out << text;
             }
+            write_trace();
+            print_stats(engine);
             return build.profile.complete() ? 0 : 1;
         }
 
@@ -402,6 +468,8 @@ main(int argc, char **argv)
             table_opt.jobs = jobs;
             table_opt.dedup = dedup;
             table_opt.freshMachinePerSpec = fresh_machine;
+            table_opt.trace = &tracer;
+            table_opt.observe = observe;
             if (show_progress) {
                 table_opt.progress = [](std::size_t done,
                                         std::size_t total) {
@@ -436,6 +504,8 @@ main(int argc, char **argv)
                 else
                     report_out << text;
             }
+            write_trace();
+            print_stats(engine);
             return build.table.errorCount() != 0 ? 1 : 0;
         }
 
@@ -627,6 +697,122 @@ main(int argc, char **argv)
             return any_error ? 1 : 0;
         }
 
+        // --------------------- observe verb ---------------------
+
+        if (observe) {
+            const auto &ua = uarch::getMicroArch(session_opt.uarch);
+            // Resolve the session-level counter config into each
+            // spec, like Session::run would -- observeSpec runs on
+            // private machines and bypasses the session layer.
+            if (!session_opt.configFile.empty()) {
+                CounterConfig session_config =
+                    CounterConfig::parseFile(session_opt.configFile);
+                for (auto &spec : queued) {
+                    if (spec.config.empty())
+                        spec.config = session_config;
+                }
+            }
+            bool any_error = false;
+            bool json_array =
+                format == OutputFormat::Json && queued.size() > 1;
+            // The per-spec JSON documents nest the two reports under
+            // "predicted" / "observed"; both toJson() outputs end in
+            // a newline that must not land inside the wrapper.
+            auto trimmed = [](std::string text) {
+                while (!text.empty() &&
+                       (text.back() == '\n' || text.back() == ' '))
+                    text.pop_back();
+                return text;
+            };
+            if (json_array)
+                std::cout << "[\n";
+            for (std::size_t i = 0; i < queued.size(); ++i) {
+                bool last = i + 1 == queued.size();
+                if (queued.size() > 1 && format == OutputFormat::Csv) {
+                    std::cout << "# benchmark " << i + 1 << "/"
+                              << queued.size() << "\n";
+                }
+                std::optional<RunError> failure = preset[i];
+                analysis::BoundReport bounds;
+                obs::ObservedProfile profile;
+                if (!failure) {
+                    // Assembly/decode errors from the static pass and
+                    // execution errors from the observed run become
+                    // per-spec failures, like the run path.
+                    ScopedFatalMessageSuppression suppress;
+                    try {
+                        bounds = analysis::analyzeBounds(ua, queued[i]);
+                    } catch (const FatalError &e) {
+                        failure = RunError{
+                            RunError::Code::AssemblyError, e.what()};
+                    }
+                }
+                if (!failure) {
+                    ScopedFatalMessageSuppression suppress;
+                    std::string label = queued[i].summary();
+                    try {
+                        tracer.nameLane(0, "observe");
+                        tracer.begin(0, label);
+                        profile = obs::observeSpec(ua, queued[i],
+                                                   session_opt.mode,
+                                                   session_opt.seed);
+                        tracer.end(0, label);
+                    } catch (const FatalError &e) {
+                        tracer.end(0, label);
+                        failure = RunError{
+                            RunError::Code::ExecutionError, e.what()};
+                    }
+                }
+                if (failure) {
+                    any_error = true;
+                    std::cerr << "spec " << i + 1 << "/"
+                              << queued.size() << " failed ("
+                              << runErrorCodeName(failure->code)
+                              << "): " << failure->message << "\n";
+                    if (format == OutputFormat::Json) {
+                        std::cout << "{\"error\": {\"code\": \""
+                                  << runErrorCodeName(failure->code)
+                                  << "\", \"message\": \""
+                                  << jsonEscape(failure->message)
+                                  << "\"}}"
+                                  << (json_array && !last ? "," : "")
+                                  << "\n";
+                    }
+                    if (format == OutputFormat::Csv && !last)
+                        std::cout << "\n";
+                    continue;
+                }
+                switch (format) {
+                  case OutputFormat::Text:
+                    if (queued.size() > 1)
+                        std::cout << "## " << queued[i].summary()
+                                  << "\n";
+                    std::cout << obs::formatPredictedVsObserved(
+                        bounds, profile);
+                    break;
+                  case OutputFormat::Json:
+                    std::cout << "{\"predicted\": "
+                              << trimmed(bounds.toJson())
+                              << ",\n \"observed\": "
+                              << trimmed(profile.toJson()) << "}"
+                              << (json_array && !last ? "," : "")
+                              << "\n";
+                    break;
+                  case OutputFormat::Csv:
+                    std::cout << "# predicted\n" << bounds.toCsv()
+                              << "# observed\n" << profile.toCsv();
+                    break;
+                }
+                if (format != OutputFormat::Json &&
+                    queued.size() > 1 && !last)
+                    std::cout << "\n";
+            }
+            if (json_array)
+                std::cout << "]\n";
+            write_trace();
+            return any_error ? 1 : 0;
+        }
+
         std::vector<BenchmarkSpec> runnable;
         runnable.reserve(queued.size());
         for (std::size_t i = 0; i < queued.size(); ++i) {
@@ -657,12 +843,24 @@ main(int argc, char **argv)
             campaign_opt.dedup = dedup;
             campaign_opt.session = session_opt;
             campaign_opt.freshMachinePerSpec = fresh_machine;
+            campaign_opt.trace = &tracer;
             if (show_progress) {
-                campaign_opt.progress = [](std::size_t done,
-                                           std::size_t total) {
-                    std::cerr << "\rcampaign: " << done << "/" << total
-                              << (done == total ? "\n" : "");
-                };
+                campaign_opt.progress =
+                    [](const CampaignProgress &event) {
+                        // Settle events keep the coarse counter;
+                        // start events name the spec in flight so a
+                        // stalled campaign is attributable.
+                        if (event.starting) {
+                            std::cerr << "\rcampaign: " << event.done
+                                      << "/" << event.total << " ["
+                                      << event.specLabel << "]";
+                            return;
+                        }
+                        std::cerr << "\rcampaign: " << event.done << "/"
+                                  << event.total
+                                  << (event.done == event.total ? "\n"
+                                                                : "");
+                    };
             }
             auto campaign = engine.runCampaign(runnable, campaign_opt);
             ran = std::move(campaign.outcomes);
@@ -674,6 +872,18 @@ main(int argc, char **argv)
                     std::cerr << text;
                 else
                     report_out << text;
+            }
+        } else if (tracer.enabled()) {
+            // Single-session batch with tracing: one lane, one span
+            // per spec (runBatch would hide the per-spec boundaries).
+            Session session = engine.session(session_opt);
+            tracer.nameLane(0, "session");
+            ran.reserve(runnable.size());
+            for (const auto &spec : runnable) {
+                std::string label = spec.summary();
+                tracer.begin(0, label);
+                ran.push_back(session.run(spec));
+                tracer.end(0, label);
             }
         } else {
             Session session = engine.session(session_opt);
@@ -752,12 +962,8 @@ main(int argc, char **argv)
         }
         if (json_array)
             std::cout << "]\n";
-        if (show_stats) {
-            EngineTelemetry t = engine.telemetry();
-            std::cerr << (format == OutputFormat::Json   ? t.toJson()
-                          : format == OutputFormat::Csv ? t.toCsv()
-                                                        : t.format());
-        }
+        write_trace();
+        print_stats(engine);
         return any_failed ? 1 : 0;
     } catch (const FatalError &e) {
         return 1;

@@ -271,8 +271,8 @@ generateMeasurementCode(const GenParams &p)
     return out;
 }
 
-sim::Program
-buildMeasurementProgram(const GenParams &p, const uarch::MicroArch &ua)
+std::vector<sim::Program::Segment>
+buildMeasurementSegments(const GenParams &p)
 {
     checkGenParams(p);
 
@@ -306,7 +306,13 @@ buildMeasurementProgram(const GenParams &p, const uarch::MicroArch &ua)
     post.code = emitPostamble(p);
     segments.push_back(std::move(post));
 
-    return sim::Program::decode(ua, std::move(segments));
+    return segments;
+}
+
+sim::Program
+buildMeasurementProgram(const GenParams &p, const uarch::MicroArch &ua)
+{
+    return sim::Program::decode(ua, buildMeasurementSegments(p));
 }
 
 } // namespace nb::core

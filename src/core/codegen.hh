@@ -124,6 +124,17 @@ std::vector<x86::Instruction> generateMeasurementCode(const GenParams &p);
 sim::Program buildMeasurementProgram(const GenParams &p,
                                      const uarch::MicroArch &ua);
 
+/**
+ * The generation half of buildMeasurementProgram(): emit the repeat-
+ * encoded segment list (preamble, body pattern, loop tail, postamble)
+ * without decoding it. buildMeasurementProgram(p, ua) ==
+ * sim::Program::decode(ua, buildMeasurementSegments(p)); the split
+ * lets the Runner attribute codegen and decode time separately
+ * (obs::Phase) on program-cache misses.
+ */
+std::vector<sim::Program::Segment>
+buildMeasurementSegments(const GenParams &p);
+
 } // namespace nb::core
 
 #endif // NB_CORE_CODEGEN_HH

@@ -5,6 +5,7 @@
 
 #include "engine.hh"
 
+#include <chrono>
 #include <unordered_map>
 
 #include "analysis/analysis.hh"
@@ -163,6 +164,9 @@ runSpecOnRunner(core::Runner &runner, core::BenchmarkSpec spec)
 
     // Assemble up front so syntax errors are classified separately
     // from execution failures (and reported without running anything).
+    // The time goes to the runner's Assemble phase: run() receives
+    // pre-assembled code, so this is where the phase happens.
+    auto assemble_start = std::chrono::steady_clock::now();
     if (spec.code.empty()) {
         if (spec.asmCode.empty()) {
             return RunError{RunError::Code::InvalidSpec,
@@ -181,6 +185,12 @@ runSpecOnRunner(core::Runner &runner, core::BenchmarkSpec spec)
             return RunError{RunError::Code::AssemblyError, e.what()};
         }
     }
+    runner.addPhaseTime(
+        obs::Phase::Assemble,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - assemble_start)
+                .count()));
 
     // Parameter validation before any work: typed errors instead of a
     // fatal() (or an assert) from deep inside the measurement loop.

@@ -5,6 +5,7 @@
 
 #include "runner.hh"
 
+#include <chrono>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
@@ -38,6 +39,18 @@ void
 appendField(std::string &key, std::uint64_t value)
 {
     appendField(key, std::to_string(value));
+}
+
+using PhaseClock = std::chrono::steady_clock;
+
+/** Nanoseconds elapsed since @p start. */
+std::uint64_t
+nsSince(PhaseClock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            PhaseClock::now() - start)
+            .count());
 }
 
 std::string
@@ -182,6 +195,22 @@ Runner::Runner(sim::Machine &machine, Mode mode)
                                                : sim::Privilege::User);
     machine_.setRdpmcUserEnabled(true); // the tool sets CR4.PCE
     setupMemoryAreas();
+    // Register the per-phase timing histograms once; updates through
+    // the cached handles are lock-free on the run path.
+    for (unsigned i = 0; i < obs::kNumPhases; ++i) {
+        phaseHist_[i] = &obs::Registry::process().histogram(
+            std::string("runner.phase.") +
+                obs::phaseName(static_cast<obs::Phase>(i)),
+            obs::phaseHistogramBounds());
+    }
+}
+
+void
+Runner::addPhaseTime(obs::Phase phase, std::uint64_t ns)
+{
+    phaseTimes_[phase] += ns;
+    phaseHist_[static_cast<unsigned>(phase)]->observe(
+        static_cast<double>(ns));
 }
 
 void
@@ -276,6 +305,20 @@ Runner::measurementProgram(const std::string &spec_key,
         programCache_.clear();
     ++progStats_.builds;
 
+    // Generation and decode are timed separately (obs::Phase): a
+    // campaign whose Codegen/Decode share does not shrink over time
+    // means the program caches stopped working.
+    auto build = [&]() -> sim::Program {
+        auto t0 = PhaseClock::now();
+        auto segments = buildMeasurementSegments(params);
+        addPhaseTime(obs::Phase::Codegen, nsSince(t0));
+        auto t1 = PhaseClock::now();
+        sim::Program built =
+            sim::Program::decode(machine_.uarch(), std::move(segments));
+        addPhaseTime(obs::Phase::Decode, nsSince(t1));
+        return built;
+    };
+
     std::shared_ptr<const sim::Program> prog;
     if (sharedCache_) {
         // The shared key adds everything the generated program depends
@@ -294,13 +337,10 @@ Runner::measurementProgram(const std::string &spec_key,
             // Decode outside the cache lock; if another worker raced
             // us to the same key, its program wins and ours is
             // discarded (both decodes happened, both count as misses).
-            prog = sharedCache_->insert(
-                std::move(shared_key),
-                buildMeasurementProgram(params, machine_.uarch()));
+            prog = sharedCache_->insert(std::move(shared_key), build());
         }
     } else {
-        prog = std::make_shared<const sim::Program>(
-            buildMeasurementProgram(params, machine_.uarch()));
+        prog = std::make_shared<const sim::Program>(build());
     }
     auto [pos, inserted] =
         programCache_.emplace(std::move(key), std::move(prog));
@@ -356,13 +396,20 @@ Runner::run(const BenchmarkSpec &spec)
 {
     Cycles cycles_begin = machine_.cycles();
 
-    // Assemble body/init if given as text.
+    // Assemble body/init if given as text (the session layer usually
+    // pre-assembles and credits its time via addPhaseTime).
     std::vector<Instruction> body = spec.code;
     std::vector<Instruction> init = spec.init;
-    if (body.empty() && !spec.asmCode.empty())
+    if (body.empty() && !spec.asmCode.empty()) {
+        auto t0 = PhaseClock::now();
         body = x86::assemble(spec.asmCode);
-    if (init.empty() && !spec.asmInit.empty())
+        addPhaseTime(obs::Phase::Assemble, nsSince(t0));
+    }
+    if (init.empty() && !spec.asmInit.empty()) {
+        auto t0 = PhaseClock::now();
         init = x86::assemble(spec.asmInit);
+        addPhaseTime(obs::Phase::Assemble, nsSince(t0));
+    }
     if (body.empty())
         fatal("empty benchmark body");
     // Reject unusable parameters up front: without this, an empty
@@ -449,6 +496,7 @@ Runner::run(const BenchmarkSpec &spec)
                 measurementProgram(spec_key, round_idx, params);
             // Algorithm 2: warm-up runs are executed but discarded.
             std::vector<std::vector<double>> measurements(items.size());
+            auto exec_start = PhaseClock::now();
             for (int i = -static_cast<int>(spec.warmUpCount);
                  i < static_cast<int>(spec.nMeasurements); ++i) {
                 auto raw = executeOnce(prog, params);
@@ -457,10 +505,13 @@ Runner::run(const BenchmarkSpec &spec)
                         measurements[k].push_back(raw[k]);
                 }
             }
+            addPhaseTime(obs::Phase::Execute, nsSince(exec_start));
+            auto agg_start = PhaseClock::now();
             std::vector<double> agg(items.size());
             for (std::size_t k = 0; k < items.size(); ++k)
                 agg[k] = applyAggregate(spec.agg,
                                         std::move(measurements[k]));
+            addPhaseTime(obs::Phase::Aggregate, nsSince(agg_start));
             agg_ab.push_back(std::move(agg));
         }
 

@@ -35,6 +35,7 @@
 #include "core/result.hh"
 #include "core/telemetry.hh"
 #include "kernel/kalloc.hh"
+#include "obs/metrics.hh"
 #include "sim/machine.hh"
 
 namespace nb::core
@@ -201,6 +202,25 @@ class Runner
     Cycles lastRunCycles() const { return lastRunCycles_; }
 
     /**
+     * Cumulative wall time this runner spent per pipeline phase
+     * (obs::Phase) across all run() calls since construction or
+     * resetPhaseTimes(). Codegen/Decode only accrue on measurement-
+     * program cache misses; Assemble accrues here when run() parses
+     * asm text itself and via addPhaseTime() when the session layer
+     * (runSpecOnRunner) pre-assembles. The campaign executor windows
+     * this accumulator per spec to aggregate per-worker phase totals.
+     */
+    const obs::PhaseTimes &phaseTimes() const { return phaseTimes_; }
+    void resetPhaseTimes() { phaseTimes_ = {}; }
+
+    /**
+     * Credit @p ns of externally-timed work to @p phase: adds to
+     * phaseTimes() and feeds the process-wide "runner.phase.<name>"
+     * histograms (obs::Registry::process()).
+     */
+    void addPhaseTime(obs::Phase phase, std::uint64_t ns);
+
+    /**
      * Measurement-program cache counters in the unified telemetry
      * shape: hits were served from this runner's local cache; misses
      * had to fetch from the shared cache or decode. One miss per
@@ -275,6 +295,11 @@ class Runner
     Addr resultBase_ = 0;
     Addr r14Size_ = 0;
     Cycles lastRunCycles_ = 0;
+    /** Cumulative per-phase wall time (see phaseTimes()). */
+    obs::PhaseTimes phaseTimes_;
+    /** Cached process-registry histogram handles, one per phase
+     *  (registration is mutex-protected; updates are lock-free). */
+    std::array<obs::Histogram *, obs::kNumPhases> phaseHist_{};
 
     /** Measurement programs keyed on (spec key, round, localUnroll).
      *  Values are shared with (and may originate from) the engine-wide

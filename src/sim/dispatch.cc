@@ -49,6 +49,12 @@ Machine::execute(const Program &prog)
     ctx.program = &prog;
     ctx.stats.startCycle = sched_.maxCompletion;
 
+    // Opt-in observation sink (see ExecObserver): accrual is purely
+    // additive bookkeeping on already-computed values, so attaching an
+    // observer cannot perturb timing, semantics, or PMU state. The
+    // nullptr check is one predicted-not-taken branch when detached.
+    ExecObserver *const obs = execObserver_;
+
     // Front-end footprint model (§III-F): code that no longer fits the
     // instruction cache decodes at a reduced rate. The footprint is
     // the *dynamic* layout's size -- repeat-encoded programs occupy
@@ -158,6 +164,8 @@ Machine::execute(const Program &prog)
             sched_.issuedInCycle = 0;
         }
         ++sched_.issuedInCycle;
+        if (obs)
+            ++obs->uopsIssued;
         return sched_.issueCycle;
     };
 
@@ -171,6 +179,8 @@ Machine::execute(const Program &prog)
             Cycles done = ready + latency;
             sched_.maxCompletion = std::max(sched_.maxCompletion, done);
             sched_.window.push_back(done);
+            if (obs)
+                ++obs->uopsDispatched;
             return {ready, done};
         }
         // Choose the allowed port with the earliest dispatch
@@ -202,6 +212,10 @@ Machine::execute(const Program &prog)
         count(EventId::UopsExecuted, 1, best_cycle);
         if (best_port < 8)
             count(portEvent(best_port), 1, best_cycle);
+        if (obs) {
+            ++obs->uopsDispatched;
+            ++obs->portUops[best_port];
+        }
         return {best_cycle, done};
     };
 
@@ -216,6 +230,8 @@ Machine::execute(const Program &prog)
         ++sched_.retiredInCycle;
         sched_.lastRetire = retire;
         sched_.maxCompletion = std::max(sched_.maxCompletion, retire);
+        if (obs)
+            obs->retireStallCycles += retire - completion;
 
         count(EventId::InstrRetired, 1, retire);
         if (is_br) {
@@ -1218,6 +1234,10 @@ after_insn:
 
 finished:
     ctx.stats.endCycle = sched_.maxCompletion;
+    if (obs) {
+        obs->instructions += ctx.stats.instructions;
+        obs->cycles += ctx.stats.endCycle - ctx.stats.startCycle;
+    }
     return ctx.stats;
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "sim/arch_state.hh"
 #include "sim/memory.hh"
@@ -66,6 +67,35 @@ inline constexpr std::uint32_t kCboxLookupBase = 0x700; ///< +slice
 inline constexpr std::uint32_t kCboxHitBase = 0x720;    ///< +slice
 inline constexpr std::uint32_t kCboxMissBase = 0x740;   ///< +slice
 } // namespace msr
+
+/**
+ * Opt-in observation sink for the threaded executor (execute()).
+ * When attached via Machine::setExecObserver, the dispatch loop
+ * accrues what the core *actually did* -- per-port dispatched µops,
+ * issue/dispatch totals, retire-stall cycles -- across execute()
+ * calls. Observation is strictly read-only: attaching an observer
+ * must leave every observable (ExecStats, arch state, PMU totals,
+ * time-resolved samples) bit-identical, which the parity tests pin.
+ * Counters accumulate until reset(); obs::observeSpec() wraps this
+ * in the paper's differential pattern to cancel harness overhead.
+ */
+struct ExecObserver
+{
+    /** Upper bound on modeled execution ports; must cover every
+     *  uarch::PortLayout (Zen models 10). The dispatch loop indexes
+     *  this array unchecked on its hot path, so Machine asserts the
+     *  bound when an observer is attached. */
+    static constexpr unsigned kMaxPorts = 16;
+
+    std::array<std::uint64_t, kMaxPorts> portUops{};
+    std::uint64_t uopsIssued = 0;
+    std::uint64_t uopsDispatched = 0;
+    std::uint64_t retireStallCycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+
+    void reset() { *this = ExecObserver{}; }
+};
 
 /** Statistics of one execute() call. */
 struct ExecStats
@@ -147,6 +177,18 @@ class Machine
     /** MSR read sampled "as of" a specific cycle (counter MSRs only
      *  differ from readMsr by the sampling point). */
     std::uint64_t readMsrAt(std::uint32_t addr, Cycles cycle);
+
+    /** Attach (or with nullptr detach) an execution observer; the
+     *  machine does not own it. See ExecObserver. */
+    void setExecObserver(ExecObserver *observer)
+    {
+        NB_ASSERT(!observer || uarch_.ports().numPorts <=
+                                   ExecObserver::kMaxPorts,
+                  "ExecObserver::kMaxPorts too small for ",
+                  uarch_.name);
+        execObserver_ = observer;
+    }
+    ExecObserver *execObserver() const { return execObserver_; }
 
   private:
     // ------------------------------------------------ timing machinery
@@ -284,6 +326,8 @@ class Machine
     std::array<std::uint64_t, kNumEvents> pendingCounts_{};
     std::uint64_t maxInstr_ = 50'000'000;
     Cycles nextInterrupt_ = 0;
+    /** Observation sink (threaded executor only); not owned. */
+    ExecObserver *execObserver_ = nullptr;
 
     /** Branch predictor: 2-bit saturating counters per virtual code
      *  index. */

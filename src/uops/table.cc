@@ -434,7 +434,17 @@ buildInstructionTable(Engine &engine, const TableBuildOptions &options)
     campaign_opt.dedup = options.dedup;
     campaign_opt.session = options.session;
     campaign_opt.freshMachinePerSpec = options.freshMachinePerSpec;
-    campaign_opt.progress = options.progress;
+    if (options.progress) {
+        // The table's coarse (done, total) callback maps onto the
+        // settle events of the richer campaign progress stream.
+        campaign_opt.progress =
+            [cb = options.progress](const CampaignProgress &event) {
+                if (!event.starting)
+                    cb(event.done, event.total);
+            };
+    }
+    campaign_opt.trace = options.trace;
+    campaign_opt.observe = options.observe;
     CampaignResult campaign =
         engine.runCampaign(Characterizer::planSpecs(plan), campaign_opt);
 

@@ -136,6 +136,12 @@ struct TableBuildOptions
     bool freshMachinePerSpec = false;
     /** Campaign progress callback (settled specs / total specs). */
     std::function<void(std::size_t done, std::size_t total)> progress;
+    /** Span tracer forwarded to the campaign (not owned; may be
+     *  null). See CampaignOptions::trace. */
+    obs::Tracer *trace = nullptr;
+    /** Attach per-worker execution observers (never perturbs
+     *  outcomes). See CampaignOptions::observe. */
+    bool observe = false;
 };
 
 /** Everything buildInstructionTable() produces. */

@@ -216,7 +216,7 @@ TEST(Campaign, UnknownUarchThrowsBeforeAnyWork)
     CampaignOptions opt;
     opt.session.uarch = "NotACpu";
     std::atomic<bool> progressed{false};
-    opt.progress = [&](std::size_t, std::size_t) {
+    opt.progress = [&](const CampaignProgress &) {
         progressed = true;
     };
     EXPECT_THROW(engine.runCampaign(countingSpecs(3), opt),
@@ -347,18 +347,26 @@ TEST(Campaign, ProgressSettlesEveryInputSpec)
     CampaignOptions opt;
     opt.jobs = 2;
     std::vector<std::size_t> seen;
-    opt.progress = [&](std::size_t done, std::size_t total) {
-        EXPECT_EQ(total, 6u);
-        seen.push_back(done);
+    std::size_t starts = 0;
+    opt.progress = [&](const CampaignProgress &event) {
+        EXPECT_EQ(event.total, 6u);
+        // Every event names the spec in flight.
+        EXPECT_FALSE(event.specKey.empty());
+        EXPECT_FALSE(event.specLabel.empty());
+        if (event.starting)
+            ++starts;
+        else
+            seen.push_back(event.done);
     };
     auto specs = countingSpecs(4);
     specs.push_back(specs[0]);
     specs.push_back(specs[1]);
     engine.runCampaign(specs, opt);
 
-    // One callback per executed unique spec; the running "done" count
-    // is strictly increasing and ends at the input spec count
-    // (duplicates settle with their unique spec).
+    // One start + one settle per executed unique spec; the running
+    // "done" count is strictly increasing and ends at the input spec
+    // count (duplicates settle with their unique spec).
+    EXPECT_EQ(starts, 4u);
     ASSERT_EQ(seen.size(), 4u);
     for (std::size_t i = 1; i < seen.size(); ++i)
         EXPECT_GT(seen[i], seen[i - 1]);

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Well-formedness gate for obs::Tracer Chrome-trace output.
+
+Validates a trace file produced by `nanobench ... -trace FILE` (or any
+obs::Tracer::writeFile output) the way Perfetto / chrome://tracing
+would consume it:
+
+  * the document is a JSON array of event objects (the Chrome
+    trace-event "JSON Array Format"; an object with a "traceEvents"
+    array is also accepted),
+  * every event carries string "name"/"ph" and integer "pid"/"tid",
+  * "ph" is one of B/E/X/M/i, and every non-metadata event carries a
+    numeric non-negative "ts",
+  * timestamps are globally non-decreasing in file order (the tracer
+    stamps events under its mutex, so emission order IS time order),
+  * per (pid, tid) lane, B/E events pair up like a bracket language:
+    every E matches the name of the innermost open B, and no lane ends
+    with an open span,
+  * instant events ('i') carry a scope "s".
+
+Exit status is non-zero on the first malformed trace, so CI can use
+this directly as a smoke test. --require NAME (repeatable) asserts
+that a complete span (or instant/metadata event) with that exact name
+is present -- the CI smoke job uses it to prove the campaign and
+worker lanes actually got populated.
+
+Usage:
+  check_trace.py trace.json --require campaign --require session
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"B", "E", "X", "M", "i"}
+
+
+def fail(msg):
+    sys.exit(f"error: {msg}")
+
+
+def load_events(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        doc = doc.get("traceEvents")
+    if not isinstance(doc, list):
+        fail(f"{path}: expected a JSON array of trace events")
+    return doc
+
+
+def check(path, events):
+    if not events:
+        fail(f"{path}: trace is empty")
+    open_spans = {}  # (pid, tid) -> stack of open B names
+    seen_names = set()
+    last_ts = None
+    for i, event in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        name = event.get("name")
+        ph = event.get("ph")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing or empty \"name\"")
+        if ph not in VALID_PHASES:
+            fail(f"{where} ('{name}'): bad phase {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                fail(f"{where} ('{name}'): missing integer \"{key}\"")
+        if ph == "M":
+            # Metadata events (thread_name etc.) carry no timestamp.
+            seen_names.add(event.get("args", {}).get("name", name))
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where} ('{name}'): missing or negative \"ts\"")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{where} ('{name}'): ts {ts} < previous {last_ts}")
+        last_ts = ts
+        lane = (event["pid"], event["tid"])
+        if ph == "B":
+            open_spans.setdefault(lane, []).append(name)
+        elif ph == "E":
+            stack = open_spans.get(lane)
+            if not stack:
+                fail(f"{where} ('{name}'): E with no open span on lane {lane}")
+            top = stack.pop()
+            if top != name:
+                fail(f"{where}: E '{name}' does not match open B '{top}'")
+            seen_names.add(name)
+        elif ph == "i":
+            if not isinstance(event.get("s"), str):
+                fail(f"{where} ('{name}'): instant event without scope \"s\"")
+            seen_names.add(name)
+        else:  # X: a complete span
+            seen_names.add(name)
+    for lane, stack in open_spans.items():
+        if stack:
+            fail(f"{path}: lane {lane} ends with open span(s) {stack}")
+    return seen_names
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+", help="Chrome trace JSON files")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="assert a completed event with this exact name is present",
+    )
+    args = parser.parse_args()
+
+    for path in args.traces:
+        events = load_events(path)
+        seen = check(path, events)
+        for name in args.require:
+            if name not in seen:
+                fail(f"{path}: required event '{name}' not found")
+        print(f"{path}: {len(events)} events ok"
+              + (f", has {args.require}" if args.require else ""))
+
+
+if __name__ == "__main__":
+    main()
