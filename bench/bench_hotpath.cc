@@ -123,6 +123,31 @@ BM_HotpathPredecoded(benchmark::State &state)
 BENCHMARK(BM_HotpathPredecoded);
 
 void
+BM_HotpathBudget(benchmark::State &state)
+{
+    // BM_HotpathPredecoded with the cycle budget disarmed (Arg 0) vs
+    // armed with a never-tripping budget (Arg 1). check_bench.py pins
+    // the budget_overhead ratio (1 / 0) at <= 1.05x: the amortized
+    // deadline check in the dispatch loop must stay in the noise.
+    setQuiet(true);
+    auto machine = hotpathMachine();
+    auto params = hotpathParams();
+    sim::Program prog =
+        core::buildMeasurementProgram(params, machine.uarch());
+    if (state.range(0) != 0)
+        machine.setCycleBudget(1'000'000'000'000);
+    std::uint64_t dynamic = 0;
+    for (auto _ : state) {
+        machine.pmu().beginEpoch(); // as the Runner does per run
+        auto stats = machine.execute(prog);
+        dynamic += stats.instructions;
+        benchmark::DoNotOptimize(stats.endCycle);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(dynamic));
+}
+BENCHMARK(BM_HotpathBudget)->Arg(0)->Arg(1);
+
+void
 BM_MeasurementSetupLegacy(benchmark::State &state)
 {
     // Per-measurement setup alone: materializing the unrolled vector

@@ -1031,8 +1031,10 @@ analyzeSpecCached(const uarch::MicroArch &ua,
     {
         std::lock_guard<std::mutex> lock(cache.mutex);
         ++cache.stats.misses;
-        if (cache.reports.size() >= LintCache::kMaxEntries)
+        if (cache.reports.size() >= LintCache::kMaxEntries) {
+            cache.stats.evictions += cache.reports.size();
             cache.reports.clear();
+        }
         cache.reports.emplace(
             std::move(key), std::make_shared<const Report>(rep));
     }
@@ -1044,7 +1046,8 @@ lintCacheCounters()
 {
     LintCache &cache = lintCache();
     std::lock_guard<std::mutex> lock(cache.mutex);
-    return {cache.stats.hits, cache.stats.misses};
+    return {cache.stats.hits, cache.stats.misses,
+            cache.stats.evictions};
 }
 
 LintCacheStats

@@ -234,6 +234,7 @@ struct LintCacheStats
 {
     std::uint64_t hits = 0;   ///< reports served from the memo
     std::uint64_t misses = 0; ///< specs analyzed
+    std::uint64_t evictions = 0; ///< entries dropped by clear-when-full
 };
 
 /** Current memo counters in the unified telemetry shape (misses are

@@ -14,6 +14,7 @@
 #ifndef NB_COMMON_LOGGING_HH
 #define NB_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -35,6 +36,37 @@ class PanicError : public std::logic_error
 {
   public:
     explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/**
+ * Thrown when a simulated execution exceeds its cycle budget
+ * (sim::Machine::setCycleBudget). Derives from FatalError so existing
+ * catch sites degrade to a generic execution error; budget-aware
+ * callers (Engine::runSpecOnRunner) catch it first and surface a typed
+ * RunError::Code::BudgetExceeded carrying the partial progress below.
+ */
+class BudgetExceededError : public FatalError
+{
+  public:
+    BudgetExceededError(const std::string &msg,
+                        std::uint64_t instructions,
+                        std::uint64_t cycles, std::uint64_t budget)
+        : FatalError(msg), instructions_(instructions),
+          cycles_(cycles), budget_(budget)
+    {
+    }
+
+    /** Instructions retired before the budget tripped. */
+    std::uint64_t instructions() const { return instructions_; }
+    /** Cycles consumed when the budget tripped. */
+    std::uint64_t cycles() const { return cycles_; }
+    /** The budget that was exceeded. */
+    std::uint64_t budget() const { return budget_; }
+
+  private:
+    std::uint64_t instructions_;
+    std::uint64_t cycles_;
+    std::uint64_t budget_;
 };
 
 namespace detail

@@ -16,7 +16,9 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <exception>
+#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -25,6 +27,7 @@
 #include "common/strings.hh"
 #include "core/json.hh"
 #include "core/result.hh"
+#include "fault/fault.hh"
 #include "uarch/uarch.hh"
 
 namespace nb
@@ -212,6 +215,238 @@ parseSpecLines(const std::string &text,
     return entries;
 }
 
+// ------------------------------------------------------ cancellation --
+
+namespace
+{
+
+/** The token the SIGINT handler cancels. The handler itself only
+ *  performs a relaxed atomic store through the raw pointer; the
+ *  shared_ptr (mutated only from installSigintCancel/clear, normal
+ *  context) keeps the token alive while the handler is installed. */
+std::atomic<CancelToken *> sigintToken{nullptr};
+std::shared_ptr<CancelToken> sigintOwner;
+
+extern "C" void
+nbSigintHandler(int)
+{
+    if (CancelToken *token =
+            sigintToken.load(std::memory_order_relaxed))
+        token->cancel();
+}
+
+} // namespace
+
+void
+installSigintCancel(std::shared_ptr<CancelToken> token)
+{
+    if (!token) {
+        clearSigintCancel();
+        return;
+    }
+    sigintOwner = token;
+    sigintToken.store(token.get(), std::memory_order_relaxed);
+    std::signal(SIGINT, &nbSigintHandler);
+}
+
+void
+clearSigintCancel()
+{
+    std::signal(SIGINT, SIG_DFL);
+    sigintToken.store(nullptr, std::memory_order_relaxed);
+    sigintOwner.reset();
+}
+
+// ----------------------------------------------------- checkpointing --
+
+namespace
+{
+
+/** Flatten a multi-line JSON emission onto one journal line. Only
+ *  structural whitespace is affected: jsonEscape encodes embedded
+ *  newlines as
+, so string contents survive. */
+std::string
+flattenJson(std::string text)
+{
+    for (char &c : text)
+        if (c == '\n')
+            c = ' ';
+    while (!text.empty() && text.back() == ' ')
+        text.pop_back();
+    return text;
+}
+
+/** One journal line for a settled unique spec: canonical key plus
+ *  the full outcome, round-trippable. */
+std::string
+journalLine(const std::string &key, const RunOutcome &outcome)
+{
+    std::ostringstream os;
+    os << "{\"key\": \"" << core::jsonEscape(key) << "\", \"ok\": "
+       << (outcome.ok() ? 1 : 0);
+    if (outcome.ok()) {
+        os << ", \"result\": "
+           << flattenJson(outcome.result().toJson());
+    } else {
+        const RunError &error = outcome.error();
+        os << ", \"code\": \"" << runErrorCodeName(error.code)
+           << "\", \"transient\": " << (error.transient ? 1 : 0)
+           << ", \"message\": \"" << core::jsonEscape(error.message)
+           << "\"";
+    }
+    os << "}";
+    return os.str();
+}
+
+/** The journal header: schema version plus the campaign identity
+ *  fields canonical keys do not cover. */
+std::string
+journalHeader(const std::string &uarch, const std::string &mode,
+              std::size_t total, std::size_t unique)
+{
+    std::ostringstream os;
+    os << "{\"nb_checkpoint\": 1, \"uarch\": \""
+       << core::jsonEscape(uarch) << "\", \"mode\": \""
+       << core::jsonEscape(mode) << "\", \"total_specs\": " << total
+       << ", \"unique_specs\": " << unique << "}";
+    return os.str();
+}
+
+/** Parse one journal entry line into (key, outcome). @throws
+ *  nb::FatalError on malformed input (the caller decides whether a
+ *  bad line is fatal or just the torn tail of a killed writer). */
+std::pair<std::string, RunOutcome>
+parseJournalLine(const std::string &line)
+{
+    core::JsonCursor cur(line);
+    std::string key;
+    bool have_key = false;
+    bool ok = false;
+    bool have_ok = false;
+    std::optional<core::BenchmarkResult> result;
+    RunError error;
+    cur.expect('{');
+    if (!cur.tryConsume('}')) {
+        do {
+            std::string field = cur.parseString();
+            cur.expect(':');
+            if (field == "key") {
+                key = cur.parseString();
+                have_key = true;
+            } else if (field == "ok") {
+                ok = cur.parseNumber() != 0;
+                have_ok = true;
+            } else if (field == "result") {
+                // Re-parse the nested result with its own reader:
+                // capture the raw object extent, then hand it over.
+                result = core::BenchmarkResult::fromJson(
+                    cur.captureValue());
+            } else if (field == "code") {
+                std::string name = cur.parseString();
+                auto code = runErrorCodeFromName(name);
+                if (!code)
+                    fatal("checkpoint: unknown error code '", name,
+                          "'");
+                error.code = *code;
+            } else if (field == "transient") {
+                error.transient = cur.parseNumber() != 0;
+            } else if (field == "message") {
+                error.message = cur.parseString();
+            } else {
+                cur.skipValue();
+            }
+        } while (cur.tryConsume(','));
+        cur.expect('}');
+    }
+    cur.expectEnd();
+    if (!have_key || !have_ok)
+        fatal("checkpoint: journal line missing key/ok fields");
+    if (ok) {
+        if (!result)
+            fatal("checkpoint: ok entry without a result");
+        return {std::move(key), RunOutcome(std::move(*result))};
+    }
+    return {std::move(key), RunOutcome(std::move(error))};
+}
+
+/**
+ * Load a checkpoint journal for resumption. Returns canonical key ->
+ * recorded outcome. Fatal on an unreadable file, a bad header, or a
+ * campaign-identity mismatch; a malformed *trailing* entry line (the
+ * torn write of a killed process) is skipped with a warning, but a
+ * malformed line in the middle is fatal (the journal is line-append
+ * only, so corruption there means the file is not what it claims).
+ */
+std::unordered_map<std::string, RunOutcome>
+loadCheckpoint(const std::string &path, const std::string &uarch,
+               const std::string &mode)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read checkpoint '", path, "'");
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("checkpoint '", path, "' is empty");
+    // Header: require the schema marker and matching identity.
+    {
+        core::JsonCursor cur(line);
+        bool versioned = false;
+        std::string ck_uarch;
+        std::string ck_mode;
+        cur.expect('{');
+        if (!cur.tryConsume('}')) {
+            do {
+                std::string field = cur.parseString();
+                cur.expect(':');
+                if (field == "nb_checkpoint") {
+                    versioned = cur.parseNumber() == 1;
+                } else if (field == "uarch") {
+                    ck_uarch = cur.parseString();
+                } else if (field == "mode") {
+                    ck_mode = cur.parseString();
+                } else {
+                    cur.skipValue();
+                }
+            } while (cur.tryConsume(','));
+            cur.expect('}');
+        }
+        if (!versioned)
+            fatal("'", path, "' is not a version-1 nanoBench ",
+                  "checkpoint journal");
+        if (ck_uarch != uarch || ck_mode != mode) {
+            fatal("checkpoint '", path, "' was written for ",
+                  ck_uarch, "/", ck_mode, ", not ", uarch, "/", mode,
+                  " (canonical spec keys do not cover the uarch, so ",
+                  "cross-machine resumption would corrupt results)");
+        }
+    }
+    std::unordered_map<std::string, RunOutcome> outcomes;
+    std::vector<std::string> pending;
+    while (std::getline(in, line)) {
+        if (!trim(line).empty())
+            pending.push_back(line);
+    }
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        try {
+            auto [key, outcome] = parseJournalLine(pending[i]);
+            outcomes.insert_or_assign(std::move(key),
+                                      std::move(outcome));
+        } catch (const FatalError &e) {
+            if (i + 1 == pending.size()) {
+                warn("checkpoint '", path, "': ignoring torn final ",
+                     "entry (", e.what(), ")");
+                break;
+            }
+            fatal("checkpoint '", path, "' entry ", i + 1,
+                  " is corrupt: ", e.what());
+        }
+    }
+    return outcomes;
+}
+
+} // namespace
+
 // ------------------------------------------------------------ report --
 
 std::size_t
@@ -233,6 +468,10 @@ CampaignReport::toJson() const
     os << "  \"unique_specs\": " << uniqueSpecs << ",\n";
     os << "  \"cache_hits\": " << cacheHits << ",\n";
     os << "  \"ok\": " << okCount << ",\n";
+    os << "  \"retries\": " << retries << ",\n";
+    os << "  \"resumed_specs\": " << resumedSpecs << ",\n";
+    // The JSON subset has no booleans (core/json.hh): 0/1.
+    os << "  \"cancelled\": " << (cancelled ? 1 : 0) << ",\n";
     os << "  \"wall_seconds\": " << core::exactDouble(wallSeconds)
        << ",\n";
     os << "  \"per_worker_specs\": [";
@@ -283,6 +522,9 @@ CampaignReport::toCsv() const
     os << "unique_specs," << uniqueSpecs << "\n";
     os << "cache_hits," << cacheHits << "\n";
     os << "ok," << okCount << "\n";
+    os << "retries," << retries << "\n";
+    os << "resumed_specs," << resumedSpecs << "\n";
+    os << "cancelled," << (cancelled ? 1 : 0) << "\n";
     os << "wall_seconds," << core::exactDouble(wallSeconds) << "\n";
     for (std::size_t i = 0; i < perWorkerSpecs.size(); ++i)
         os << "worker_" << i << "_specs," << perWorkerSpecs[i] << "\n";
@@ -336,6 +578,14 @@ CampaignReport::fromJson(const std::string &text)
             } else if (key == "ok") {
                 report.okCount =
                     static_cast<std::size_t>(cur.parseNumber());
+            } else if (key == "retries") {
+                report.retries =
+                    static_cast<std::size_t>(cur.parseNumber());
+            } else if (key == "resumed_specs") {
+                report.resumedSpecs =
+                    static_cast<std::size_t>(cur.parseNumber());
+            } else if (key == "cancelled") {
+                report.cancelled = cur.parseNumber() != 0;
             } else if (key == "wall_seconds") {
                 report.wallSeconds = cur.parseNumber();
             } else if (key == "per_worker_specs") {
@@ -467,7 +717,9 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
                               : nullptr;
     std::vector<std::string> spec_keys;
     std::vector<std::string> spec_labels;
-    if (options.progress || tracer) {
+    bool journalling =
+        !options.checkpoint.empty() || !options.resume.empty();
+    if (options.progress || tracer || journalling) {
         spec_keys.resize(unique_count);
         spec_labels.resize(unique_count);
         for (std::size_t u = 0; u < unique_count; ++u) {
@@ -496,7 +748,98 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
     std::mutex progress_mutex;
     std::size_t settled = 0;
     std::atomic<bool> abort{false};
+    std::atomic<std::size_t> total_retries{0};
     std::exception_ptr failure;
+    CancelToken *cancel = options.cancel.get();
+
+    // Resumption: pre-fill unique outcomes recorded by an earlier,
+    // interrupted campaign. Workers skip filled slots, so a resumed
+    // campaign only executes the remainder -- and because duplicate
+    // resolution happens after the workers anyway, the final report
+    // is shaped exactly like an uninterrupted run's.
+    if (!options.resume.empty()) {
+        auto recorded =
+            loadCheckpoint(options.resume, session_opt.uarch,
+                           core::modeName(session_opt.mode));
+        for (std::size_t u = 0; u < unique_count; ++u) {
+            auto it = recorded.find(spec_keys[u]);
+            if (it == recorded.end())
+                continue;
+            unique_outcomes[u] = it->second;
+            ++campaign.report.resumedSpecs;
+            settled += multiplicity[u];
+        }
+        obs::Registry::process()
+            .counter("campaign.checkpoint.resumed")
+            .add(campaign.report.resumedSpecs);
+    }
+
+    // Checkpoint journal: header first, then one line per settled
+    // unique spec (resumed entries are re-recorded immediately so the
+    // new journal is complete on its own). Entry writes happen under
+    // progress_mutex; flushes are batched (options.checkpointEvery).
+    std::ofstream checkpoint_out;
+    std::size_t checkpoint_unflushed = 0;
+    if (!options.checkpoint.empty()) {
+        checkpoint_out.open(options.checkpoint,
+                            std::ios::out | std::ios::trunc);
+        if (!checkpoint_out)
+            fatal("cannot write checkpoint '", options.checkpoint,
+                  "'");
+        checkpoint_out << journalHeader(
+                              session_opt.uarch,
+                              core::modeName(session_opt.mode),
+                              specs.size(), unique_count)
+                       << "\n";
+        for (std::size_t u = 0; u < unique_count; ++u) {
+            if (unique_outcomes[u].has_value()) {
+                checkpoint_out << journalLine(spec_keys[u],
+                                              *unique_outcomes[u])
+                               << "\n";
+            }
+        }
+        checkpoint_out.flush();
+    }
+    // Record one settled spec; call with progress_mutex held. A write
+    // failure (injected via the report-write fault site or a real I/O
+    // error) degrades the campaign to checkpoint-less instead of
+    // killing it: the results in memory are still good.
+    auto record_checkpoint = [&](std::size_t u,
+                                 const RunOutcome &outcome) {
+        if (!checkpoint_out.is_open())
+            return;
+        try {
+            fault::maybeInject(fault::Site::ReportWrite);
+        } catch (const fault::InjectedFault &f) {
+            warn("checkpoint '", options.checkpoint,
+                 "' disabled: ", f.what());
+            checkpoint_out.close();
+            obs::Registry::process()
+                .counter("campaign.checkpoint.write_failures")
+                .add();
+            return;
+        }
+        checkpoint_out << journalLine(spec_keys[u], outcome) << "\n";
+        if (!checkpoint_out) {
+            warn("checkpoint '", options.checkpoint,
+                 "' disabled: write error");
+            checkpoint_out.close();
+            obs::Registry::process()
+                .counter("campaign.checkpoint.write_failures")
+                .add();
+            return;
+        }
+        obs::Registry::process()
+            .counter("campaign.checkpoint.entries")
+            .add();
+        if (++checkpoint_unflushed >= options.checkpointEvery) {
+            checkpoint_out.flush();
+            checkpoint_unflushed = 0;
+            obs::Registry::process()
+                .counter("campaign.checkpoint.flushes")
+                .add();
+        }
+    };
 
     // Fresh-machine mode reconstructs a machine per spec; resolve the
     // uarch descriptor once, outside the workers.
@@ -545,6 +888,14 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
             for (std::size_t u = w; u < unique_count; u += jobs) {
                 if (abort.load(std::memory_order_relaxed))
                     return;
+                // Cooperative cancellation: stop picking up new work,
+                // but break (not return) so this worker's phase and
+                // timing accounting still folds into the report.
+                if (cancel && cancel->cancelled())
+                    break;
+                // Slot pre-filled from a resume journal.
+                if (unique_outcomes[u].has_value())
+                    continue;
                 if (options.progress) {
                     std::lock_guard<std::mutex> lock(progress_mutex);
                     CampaignProgress event;
@@ -557,34 +908,85 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
                 }
                 if (tracer)
                     tracer->begin(w, spec_labels[u]);
-                if (options.freshMachinePerSpec) {
-                    sim::Machine machine(ua, session_opt.seed);
-                    core::Runner runner(machine, session_opt.mode);
-                    // The machine is private per spec (layout
-                    // invariance), but decoded programs are immutable
-                    // and layout-keyed: share them engine-wide.
-                    runner.setSharedProgramCache(programCache_);
-                    if (options.machineSetup)
-                        options.machineSetup(runner);
-                    // The machine dies with this iteration, so no
-                    // detach is needed here.
-                    if (options.observe)
-                        machine.setExecObserver(&observers[w]);
+
+                // One attempt: the worker-pickup fault site, then the
+                // actual run. Reported as data, never an exception.
+                auto attempt_once = [&]() -> RunOutcome {
+                    try {
+                        fault::maybeInject(fault::Site::WorkerPickup);
+                    } catch (const fault::InjectedFault &f) {
+                        return RunError{
+                            RunError::Code::ExecutionError, f.what(),
+                            f.transient()};
+                    }
                     core::BenchmarkSpec resolved = specs[uniqueIdx[u]];
-                    if (resolved.config.empty())
-                        resolved.config = session_opt.config;
-                    unique_outcomes[u] =
-                        runSpecOnRunner(runner, std::move(resolved));
-                    worker_phases[w] += runner.phaseTimes();
-                } else {
-                    unique_outcomes[u] =
-                        session->run(specs[uniqueIdx[u]]);
+                    // The campaign-wide budget is applied post-dedup
+                    // to the resolved copy only, so canonical keys
+                    // (and every golden artifact keyed on them) are
+                    // unaffected.
+                    if (options.specBudget != 0 &&
+                        resolved.cycleBudget == 0)
+                        resolved.cycleBudget = options.specBudget;
+                    if (options.freshMachinePerSpec) {
+                        sim::Machine machine(ua, session_opt.seed);
+                        core::Runner runner(machine,
+                                            session_opt.mode);
+                        // The machine is private per spec (layout
+                        // invariance), but decoded programs are
+                        // immutable and layout-keyed: share them
+                        // engine-wide.
+                        runner.setSharedProgramCache(programCache_);
+                        if (options.machineSetup)
+                            options.machineSetup(runner);
+                        // The machine dies with this attempt, so no
+                        // detach is needed here.
+                        if (options.observe)
+                            machine.setExecObserver(&observers[w]);
+                        if (resolved.config.empty())
+                            resolved.config = session_opt.config;
+                        RunOutcome out = runSpecOnRunner(
+                            runner, std::move(resolved));
+                        worker_phases[w] += runner.phaseTimes();
+                        return out;
+                    }
+                    return session->run(resolved);
+                };
+
+                // Transient failures (injected transient faults,
+                // flaky external state) retry with bounded
+                // exponential backoff; permanent ones fail fast.
+                RunOutcome outcome = attempt_once();
+                unsigned attempt = 0;
+                while (!outcome.ok() && outcome.error().transient &&
+                       attempt < options.maxRetries) {
+                    ++attempt;
+                    total_retries.fetch_add(1,
+                                            std::memory_order_relaxed);
+                    obs::Registry::process()
+                        .counter("campaign.retries.attempted")
+                        .add();
+                    if (tracer)
+                        tracer->instant(w, "retry");
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(
+                            1u << std::min(attempt, 10u)));
+                    outcome = attempt_once();
                 }
+                if (attempt > 0) {
+                    obs::Registry::process()
+                        .counter(outcome.ok()
+                                     ? "campaign.retries.recovered"
+                                     : "campaign.retries.exhausted")
+                        .add();
+                }
+                unique_outcomes[u] = std::move(outcome);
+
                 if (tracer)
                     tracer->end(w, spec_labels[u]);
                 ++campaign.report.perWorkerSpecs[w];
                 std::lock_guard<std::mutex> lock(progress_mutex);
                 settled += multiplicity[u];
+                record_checkpoint(u, *unique_outcomes[u]);
                 if (options.progress) {
                     CampaignProgress event;
                     event.done = settled;
@@ -628,6 +1030,18 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
     if (failure)
         std::rethrow_exception(failure);
 
+    if (checkpoint_out.is_open())
+        checkpoint_out.flush();
+    campaign.report.retries = total_retries.load();
+    campaign.report.cancelled = cancel && cancel->cancelled();
+    if (campaign.report.cancelled) {
+        obs::Registry::process()
+            .counter("campaign.cancelled")
+            .add();
+        if (tracer)
+            tracer->instant(jobs, "cancelled");
+    }
+
     for (const obs::PhaseTimes &pt : worker_phases)
         campaign.report.phaseTimes += pt;
 
@@ -666,9 +1080,17 @@ Engine::runCampaign(const std::vector<core::BenchmarkSpec> &specs,
     // and fold the histogram.
     campaign.outcomes.reserve(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
-        const auto &outcome = unique_outcomes[sourceOf[i]];
-        NB_ASSERT(outcome.has_value(),
-                  "campaign left spec ", i, " unexecuted");
+        auto &outcome = unique_outcomes[sourceOf[i]];
+        if (!outcome.has_value()) {
+            // Only cancellation legitimately leaves a slot empty
+            // (worker exceptions rethrew above); back-fill a typed,
+            // retryable error so the partial report stays total.
+            NB_ASSERT(campaign.report.cancelled,
+                      "campaign left spec ", i, " unexecuted");
+            outcome = RunOutcome(RunError{
+                RunError::Code::Cancelled,
+                "campaign cancelled before this spec ran", true});
+        }
         campaign.outcomes.push_back(*outcome);
         if (outcome->ok()) {
             ++campaign.report.okCount;

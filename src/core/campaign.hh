@@ -38,8 +38,10 @@
 #ifndef NB_CORE_CAMPAIGN_HH
 #define NB_CORE_CAMPAIGN_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +51,39 @@
 
 namespace nb
 {
+
+/**
+ * Cooperative cancellation for campaigns. Workers poll the token at
+ * every spec pickup; once cancelled, no new specs start, in-flight
+ * specs finish, and every spec that never ran settles as a typed
+ * RunError::Code::Cancelled outcome in a partial CampaignReport.
+ * cancel() is one relaxed atomic store, so it is safe to call from a
+ * signal handler (the CLI's SIGINT path) or any thread.
+ */
+class CancelToken
+{
+  public:
+    void cancel() { flag_.store(true, std::memory_order_relaxed); }
+    bool
+    cancelled() const
+    {
+        return flag_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/**
+ * Install a process SIGINT handler that cancels @p token (keeping it
+ * alive until cleared). The handler performs one relaxed atomic store
+ * -- async-signal-safe -- and leaves writing partial reports and
+ * flushing checkpoints to the interrupted campaign's normal exit
+ * path. Pass nullptr (or call clearSigintCancel()) to restore the
+ * default disposition.
+ */
+void installSigintCancel(std::shared_ptr<CancelToken> token);
+void clearSigintCancel();
 
 /**
  * One campaign progress event. Two events fire per unique spec: one
@@ -139,7 +174,60 @@ struct CampaignOptions
      * golden tables may be regenerated with this on.
      */
     bool observe = false;
+    /**
+     * Default cycle budget (0 = none) for specs that do not carry
+     * their own BenchmarkSpec::cycleBudget. Applied to the resolved
+     * spec at execution time -- after dedup keys are computed -- so
+     * canonical keys, dedup behavior, and golden artifacts are
+     * unaffected; only a runaway spec can observe the difference (it
+     * settles as RunError::Code::BudgetExceeded instead of hanging a
+     * worker). The table/profile builders arm this so a planner bug
+     * can never hang a golden-regeneration CI job.
+     */
+    std::uint64_t specBudget = 0;
+    /**
+     * Retry a spec whose outcome is a *transient* error (see
+     * RunError::transient) up to this many times, with a short
+     * exponential backoff between attempts. Permanent errors fail
+     * fast. Retries count into CampaignReport::retries and the
+     * "campaign.retries.*" process counters.
+     */
+    unsigned maxRetries = 0;
+    /**
+     * Checkpoint journal path (empty = off). The campaign appends one
+     * line per settled unique spec -- its canonical key and full
+     * outcome -- flushing every checkpointEvery entries, so a killed
+     * or cancelled campaign can be resumed. Write failures degrade
+     * (the campaign finishes without a journal) rather than abort.
+     */
+    std::string checkpoint;
+    /** Settled unique specs between checkpoint flushes. */
+    std::size_t checkpointEvery = 16;
+    /**
+     * Resume from a checkpoint journal written by a previous
+     * (interrupted) run of the same campaign: unique specs whose
+     * canonical keys appear in the journal settle from their recorded
+     * outcomes without executing; everything else runs normally. The
+     * journal's uarch/mode must match the campaign's (canonical keys
+     * do not cover them). A truncated trailing line -- the kill -9
+     * case -- is ignored. The resulting outcomes and report are
+     * bit-identical (modulo wall-time fields) to an uninterrupted
+     * run when the campaign is deterministic (freshMachinePerSpec).
+     */
+    std::string resume;
+    /** Cooperative cancellation (may be null; see CancelToken). */
+    std::shared_ptr<CancelToken> cancel;
 };
+
+/**
+ * The CampaignOptions::specBudget the table/profile builders arm by
+ * default: generous enough that no sane characterization spec gets
+ * near it (the longest golden-table specs retire well under 10M
+ * cycles), so golden artifacts stay byte-identical, while a planner
+ * bug that would otherwise hang a builder job settles as a
+ * BudgetExceeded outcome in seconds.
+ */
+inline constexpr std::uint64_t kBuilderSpecBudget = 2'000'000'000;
 
 /** Execution statistics of one campaign. */
 struct CampaignReport
@@ -168,6 +256,13 @@ struct CampaignReport
      *  indexed by static_cast<unsigned>(RunError::Code). */
     std::vector<std::size_t> errorHistogram =
         std::vector<std::size_t>(kNumRunErrorCodes, 0);
+    /** Transient-failure retry attempts across all workers. */
+    std::size_t retries = 0;
+    /** Unique specs settled from the resume journal (not executed). */
+    std::size_t resumedSpecs = 0;
+    /** True if the campaign was cancelled before completing; specs
+     *  that never ran settled as RunError::Code::Cancelled. */
+    bool cancelled = false;
     /** Engine::telemetry() snapshot taken when the campaign finished:
      *  how hard the machine pool, program cache, and process-wide
      *  memos worked. (The memos aggregate over the whole process, not

@@ -13,8 +13,10 @@
  */
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -26,6 +28,7 @@
 #include "common/strings.hh"
 #include "core/campaign.hh"
 #include "core/engine.hh"
+#include "fault/fault.hh"
 #include "obs/metrics.hh"
 #include "obs/observe.hh"
 #include "obs/trace.hh"
@@ -88,6 +91,26 @@ printUsage()
         "                       one cached result\n"
         "  -report <file>       write the campaign report (JSON, or CSV\n"
         "                       with -csv) to a file ('-' = stderr)\n"
+        "  -cycle_budget <n>    abort any single run after n simulated\n"
+        "                       cycles with a budget-exceeded error\n"
+        "                       (default 0 = unlimited); applies to\n"
+        "                       every queued spec, incl. spec-file\n"
+        "                       lines\n"
+        "  -max_retries <n>     retry a spec whose failure is marked\n"
+        "                       transient up to n times with backoff\n"
+        "                       (default 0; campaign runs only)\n"
+        "  -checkpoint <file>   journal every settled campaign spec to\n"
+        "                       a file; an interrupted campaign (kill,\n"
+        "                       Ctrl-C) can continue with -resume\n"
+        "  -resume <file>       skip specs already settled in a\n"
+        "                       checkpoint journal (same uarch/mode)\n"
+        "  -fault <plan>        inject deterministic faults at named\n"
+        "                       sites, e.g. 'assemble:transient:x1' or\n"
+        "                       'execute@10000,seed:7' (sites:\n"
+        "                       assemble, decode, execute,\n"
+        "                       worker-pickup, report-write; also read\n"
+        "                       from the NB_FAULT env var; see README\n"
+        "                       \"Resilience\")\n"
         "  -progress            print campaign progress to stderr\n"
         "  -config <file>       performance-counter config file\n"
         "  -uarch <name>        microarchitecture (default Skylake)\n"
@@ -187,6 +210,10 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string spec_file;
     std::string report_path;
+    std::string fault_spec;
+    std::string checkpoint_path;
+    std::string resume_path;
+    unsigned max_retries = 0;
     std::string table_path;
     std::string profile_path;
     std::string diff_path_a;
@@ -243,6 +270,17 @@ main(int argc, char **argv)
                 dedup = false;
             } else if (arg == "-report") {
                 report_path = next();
+            } else if (arg == "-cycle_budget") {
+                shared.cycleBudget = parseCount(arg, next());
+            } else if (arg == "-max_retries") {
+                max_retries =
+                    static_cast<unsigned>(parseCount(arg, next()));
+            } else if (arg == "-checkpoint") {
+                checkpoint_path = next();
+            } else if (arg == "-resume") {
+                resume_path = next();
+            } else if (arg == "-fault") {
+                fault_spec = next();
             } else if (arg == "-progress") {
                 show_progress = true;
             } else if (arg == "-config") {
@@ -310,6 +348,18 @@ main(int argc, char **argv)
                 fatal("unknown option '", arg, "' (try --help)");
             }
         }
+
+        // Fault injection: -fault wins over the NB_FAULT environment
+        // variable (the CI sweep uses the latter so it needs no
+        // command-line surgery). The plan stays active for the whole
+        // invocation; a bad plan string fails here, before any work.
+        if (fault_spec.empty()) {
+            if (const char *env = std::getenv("NB_FAULT"))
+                fault_spec = env;
+        }
+        std::optional<fault::ScopedFaultPlan> fault_scope;
+        if (!fault_spec.empty())
+            fault_scope.emplace(fault_spec);
 
         // One tracer for the whole invocation, disabled (and
         // near-free) unless -trace was given. Verbs that execute
@@ -827,7 +877,10 @@ main(int argc, char **argv)
         // campaign option is used.
         bool campaign_mode = jobs != 1 || !dedup || show_progress ||
                              fresh_machine || !spec_file.empty() ||
-                             !report_path.empty();
+                             !report_path.empty() || max_retries != 0 ||
+                             !checkpoint_path.empty() ||
+                             !resume_path.empty();
+        bool was_cancelled = false;
         if (campaign_mode) {
             // Open the report file up front: an unwritable path must
             // fail before hours of campaign work, not after.
@@ -844,6 +897,19 @@ main(int argc, char **argv)
             campaign_opt.session = session_opt;
             campaign_opt.freshMachinePerSpec = fresh_machine;
             campaign_opt.trace = &tracer;
+            campaign_opt.maxRetries = max_retries;
+            campaign_opt.checkpoint = checkpoint_path;
+            campaign_opt.resume = resume_path;
+            // Ctrl-C cancels cooperatively: in-flight specs finish,
+            // the checkpoint flushes, and a partial report (with the
+            // unexecuted specs settled as "cancelled" errors) is
+            // still written below.
+            campaign_opt.cancel = std::make_shared<CancelToken>();
+            installSigintCancel(campaign_opt.cancel);
+            struct SigintScope
+            {
+                ~SigintScope() { clearSigintCancel(); }
+            } sigint_scope;
             if (show_progress) {
                 campaign_opt.progress =
                     [](const CampaignProgress &event) {
@@ -864,6 +930,21 @@ main(int argc, char **argv)
             }
             auto campaign = engine.runCampaign(runnable, campaign_opt);
             ran = std::move(campaign.outcomes);
+            was_cancelled = campaign.report.cancelled;
+            if (was_cancelled) {
+                std::size_t unrun =
+                    campaign.report.errorHistogram[static_cast<
+                        unsigned>(RunError::Code::Cancelled)];
+                std::cerr << "campaign cancelled: "
+                          << campaign.report.totalSpecs - unrun << "/"
+                          << campaign.report.totalSpecs
+                          << " specs settled"
+                          << (checkpoint_path.empty()
+                                  ? ""
+                                  : " (resume with -resume " +
+                                        checkpoint_path + ")")
+                          << "\n";
+            }
             if (!report_path.empty()) {
                 std::string text = format == OutputFormat::Csv
                                        ? campaign.report.toCsv()
@@ -964,6 +1045,9 @@ main(int argc, char **argv)
             std::cout << "]\n";
         write_trace();
         print_stats(engine);
+        // 130 = interrupted (the conventional 128 + SIGINT).
+        if (was_cancelled)
+            return 130;
         return any_failed ? 1 : 0;
     } catch (const FatalError &e) {
         return 1;

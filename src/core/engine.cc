@@ -9,6 +9,8 @@
 #include <unordered_map>
 
 #include "analysis/analysis.hh"
+#include "fault/fault.hh"
+#include "obs/metrics.hh"
 #include "uarch/uarch.hh"
 #include "x86/assembler.hh"
 
@@ -69,6 +71,12 @@ assembleMemoized(const std::string &source)
         if (cache.map.size() >= 4096) {
             // Crude bound; entries are one rebuild away. Holders of
             // dropped entries keep them alive via their shared_ptr.
+            // Count what was dropped so a full memo never reads as an
+            // unexplained miss storm.
+            cache.stats.evictions += cache.map.size();
+            obs::Registry::process()
+                .counter("engine.assemble_cache.evicted")
+                .add(cache.map.size());
             cache.map.clear();
         }
         cache.map.emplace(source, code);
@@ -83,7 +91,8 @@ assembleCacheCounters()
 {
     AssembleCache &cache = assembleCache();
     std::lock_guard<std::mutex> lock(cache.mutex);
-    return {cache.stats.hits, cache.stats.misses};
+    return {cache.stats.hits, cache.stats.misses,
+            cache.stats.evictions};
 }
 
 AssembleCacheStats
@@ -103,6 +112,8 @@ runErrorCodeName(RunError::Code code)
       case RunError::Code::Unsupported: return "unsupported";
       case RunError::Code::LintError: return "lint-error";
       case RunError::Code::ExecutionError: return "execution-error";
+      case RunError::Code::BudgetExceeded: return "budget-exceeded";
+      case RunError::Code::Cancelled: return "cancelled";
     }
     return "unknown";
 }
@@ -173,14 +184,22 @@ runSpecOnRunner(core::Runner &runner, core::BenchmarkSpec spec)
                             "empty benchmark body"};
         }
         try {
+            fault::maybeInject(fault::Site::Assemble);
             spec.code = assembleMemoized(spec.asmCode);
+        } catch (const fault::InjectedFault &f) {
+            return RunError{RunError::Code::AssemblyError, f.what(),
+                            f.transient()};
         } catch (const FatalError &e) {
             return RunError{RunError::Code::AssemblyError, e.what()};
         }
     }
     if (spec.init.empty() && !spec.asmInit.empty()) {
         try {
+            fault::maybeInject(fault::Site::Assemble);
             spec.init = assembleMemoized(spec.asmInit);
+        } catch (const fault::InjectedFault &f) {
+            return RunError{RunError::Code::AssemblyError, f.what(),
+                            f.transient()};
         } catch (const FatalError &e) {
             return RunError{RunError::Code::AssemblyError, e.what()};
         }
@@ -236,6 +255,17 @@ runSpecOnRunner(core::Runner &runner, core::BenchmarkSpec spec)
 
     try {
         return RunOutcome(runner.run(spec));
+    } catch (const BudgetExceededError &e) {
+        // The resilience guard, not a spec defect per se: the message
+        // carries the partial progress (instructions, cycles, PMU
+        // snapshot) the dispatcher captured when the budget tripped.
+        obs::Registry::process()
+            .counter("runner.budget.exceeded")
+            .add();
+        return RunError{RunError::Code::BudgetExceeded, e.what()};
+    } catch (const fault::InjectedFault &f) {
+        return RunError{RunError::Code::ExecutionError, f.what(),
+                        f.transient()};
     } catch (const FatalError &e) {
         return RunError{RunError::Code::ExecutionError, e.what()};
     }

@@ -76,20 +76,33 @@ struct RunError
         /** The benchmark failed while executing (e.g. a privileged
          *  instruction in user mode, a bad memory access). */
         ExecutionError,
-        // Keep ExecutionError last: kNumRunErrorCodes (and the
-        // histograms sized by it) is asserted against it below.
+        /** The run exceeded its cycle budget
+         *  (BenchmarkSpec::cycleBudget / CampaignOptions::specBudget)
+         *  and was stopped; the message carries the partial progress
+         *  (instructions retired, cycles consumed, PMU state). */
+        BudgetExceeded,
+        /** The campaign was cancelled (CancelToken / SIGINT) before
+         *  this spec ran. */
+        Cancelled,
+        // Keep Cancelled last: kNumRunErrorCodes (and the histograms
+        // sized by it) is asserted against it below.
     };
 
     Code code = Code::ExecutionError;
     std::string message;
+    /** Transient failures (injected transient faults, cancelled-
+     *  before-run) are worth retrying; the campaign worker loop
+     *  retries them up to CampaignOptions::maxRetries times.
+     *  Permanent failures fail fast. */
+    bool transient = false;
 };
 
 /** Human-readable name of a RunError code. */
 const char *runErrorCodeName(RunError::Code code);
 
 /** Number of distinct RunError codes (histogram sizing). */
-inline constexpr unsigned kNumRunErrorCodes = 5;
-static_assert(static_cast<unsigned>(RunError::Code::ExecutionError) ==
+inline constexpr unsigned kNumRunErrorCodes = 7;
+static_assert(static_cast<unsigned>(RunError::Code::Cancelled) ==
                   kNumRunErrorCodes - 1,
               "kNumRunErrorCodes must track RunError::Code");
 
@@ -111,6 +124,7 @@ struct AssembleCacheStats
 {
     std::uint64_t hits = 0;   ///< texts served from the memo
     std::uint64_t misses = 0; ///< texts parsed (successfully)
+    std::uint64_t evictions = 0; ///< entries dropped by clear-when-full
 };
 
 /** Current counters of the assembly memo, in the unified telemetry

@@ -159,6 +159,17 @@ class JsonCursor
         }
     }
 
+    /** Skip any value and return its raw text (for re-parsing a
+     *  nested document with its own reader). */
+    std::string
+    captureValue()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        skipValue();
+        return text_.substr(start, pos_ - start);
+    }
+
   private:
     const std::string &text_;
     std::size_t pos_ = 0;

@@ -8,6 +8,8 @@
 
 #include "core/program_cache.hh"
 
+#include "obs/metrics.hh"
+
 namespace nb::core
 {
 
@@ -30,8 +32,15 @@ SharedProgramCache::insert(std::string key, sim::Program prog)
     auto owned =
         std::make_shared<const sim::Program>(std::move(prog));
     std::lock_guard<std::mutex> lock(mutex_);
-    if (map_.size() >= kCapacity)
+    if (map_.size() >= kCapacity) {
+        // Clear-when-full, but never silently: the eviction count
+        // explains the miss storm a full cache otherwise looks like.
+        stats_.evictions += map_.size();
+        obs::Registry::process()
+            .counter("engine.program_cache.evicted")
+            .add(map_.size());
         map_.clear();
+    }
     auto [it, inserted] = map_.try_emplace(std::move(key), owned);
     // On a lost race the first decode wins; both racers already
     // counted a miss, which is accurate: both paid a decode.

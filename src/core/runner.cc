@@ -12,6 +12,7 @@
 
 #include "common/logging.hh"
 #include "core/program_cache.hh"
+#include "fault/fault.hh"
 #include "x86/assembler.hh"
 #include "x86/encoding.hh"
 
@@ -90,6 +91,10 @@ specCanonicalKey(const BenchmarkSpec &spec)
     appendField(key, static_cast<std::uint64_t>(spec.fixedCounters));
     appendField(key, static_cast<std::uint64_t>(spec.aperfMperf));
     appendField(key, static_cast<std::uint64_t>(spec.lintLevel));
+    // Appended only when armed so every pre-existing key (and the
+    // golden artifacts deduped/cached under them) stays byte-stable.
+    if (spec.cycleBudget != 0)
+        appendField(key, spec.cycleBudget);
     for (const auto &event : spec.config.events()) {
         appendField(key, event.code.evsel);
         appendField(key, event.code.umask);
@@ -162,6 +167,8 @@ BenchmarkSpec::summary() const
         os << " aperf_mperf";
     if (lintLevel != LintLevel::Off)
         os << " lint=" << lintLevelName(lintLevel);
+    if (cycleBudget != 0)
+        os << " cycle_budget=" << cycleBudget;
     return os.str();
 }
 
@@ -301,14 +308,22 @@ Runner::measurementProgram(const std::string &spec_key,
         ++progStats_.hits;
         return *it->second;
     }
-    if (programCache_.size() >= kProgramCacheCap)
+    if (programCache_.size() >= kProgramCacheCap) {
+        // Clear-when-full, but never silently: a full cache otherwise
+        // reads as an inexplicable 100% miss storm in the telemetry.
+        progStats_.evictions += programCache_.size();
+        obs::Registry::process()
+            .counter("runner.program_cache.evictions")
+            .add(programCache_.size());
         programCache_.clear();
+    }
     ++progStats_.builds;
 
     // Generation and decode are timed separately (obs::Phase): a
     // campaign whose Codegen/Decode share does not shrink over time
     // means the program caches stopped working.
     auto build = [&]() -> sim::Program {
+        fault::maybeInject(fault::Site::Decode);
         auto t0 = PhaseClock::now();
         auto segments = buildMeasurementSegments(params);
         addPhaseTime(obs::Phase::Codegen, nsSince(t0));
@@ -417,6 +432,19 @@ Runner::run(const BenchmarkSpec &spec)
     // aggregate functions deep inside the measurement loop.
     if (auto issue = validateSpec(spec, mode_))
         fatal(issue->message);
+
+    // Arm the per-run cycle budget. RAII: a pooled machine must never
+    // carry a previous spec's deadline into the next run, including
+    // when the budget trips and unwinds through here.
+    struct BudgetGuard
+    {
+        sim::Machine &machine;
+        ~BudgetGuard() { machine.setCycleBudget(0); }
+    } budget_guard{machine_};
+    if (spec.cycleBudget != 0) {
+        machine_.setCycleBudget(spec.cycleBudget);
+        obs::Registry::process().counter("runner.budget.armed").add();
+    }
 
     auto &pmu = machine_.pmu();
     BenchmarkResult result;

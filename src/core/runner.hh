@@ -102,6 +102,17 @@ struct BenchmarkSpec
     bool aperfMperf = false;
     /** Static-analysis opt-in (observe-only default: Off). */
     LintLevel lintLevel = LintLevel::Off;
+    /**
+     * Cycle budget for the whole run() (0 = unlimited): once the
+     * simulated machine has consumed this many cycles across every
+     * warm-up and measurement execution of this spec, the run stops
+     * with nb::BudgetExceededError (surfaced by the session/campaign
+     * layers as RunError::Code::BudgetExceeded). The runaway-spec
+     * guard: an R1-style infinite loop that dodges the opt-in linter
+     * returns a typed error instead of hanging a worker. Campaigns
+     * can impose a default via CampaignOptions::specBudget.
+     */
+    std::uint64_t cycleBudget = 0;
     /** Programmable events. */
     CounterConfig config;
 
@@ -162,6 +173,8 @@ struct ProgramCacheStats
     std::uint64_t builds = 0;
     /** Measurement programs served from the local cache. */
     std::uint64_t hits = 0;
+    /** Entries dropped by the clear-when-full policy. */
+    std::uint64_t evictions = 0;
 };
 
 /** The benchmark runner; owns the memory-area setup for one machine. */
@@ -230,7 +243,8 @@ class Runner
      */
     CacheStats programStats() const
     {
-        return {progStats_.hits, progStats_.builds};
+        return {progStats_.hits, progStats_.builds,
+                progStats_.evictions};
     }
     /** Zero the cache counters (the cache itself is kept). */
     void resetProgramStats() { progStats_ = {}; }

@@ -22,7 +22,8 @@ emitCache(std::ostringstream &os, const char *name,
           const CacheStats &stats)
 {
     os << "  \"" << name << "\": {\"hits\": " << stats.hits
-       << ", \"misses\": " << stats.misses << "}";
+       << ", \"misses\": " << stats.misses
+       << ", \"evictions\": " << stats.evictions << "}";
 }
 
 CacheStats
@@ -39,6 +40,9 @@ parseCache(core::JsonCursor &cur)
                     static_cast<std::uint64_t>(cur.parseNumber());
             else if (key == "misses")
                 stats.misses =
+                    static_cast<std::uint64_t>(cur.parseNumber());
+            else if (key == "evictions")
+                stats.evictions =
                     static_cast<std::uint64_t>(cur.parseNumber());
             else
                 cur.skipValue();
@@ -81,10 +85,13 @@ EngineTelemetry::toCsv() const
     os << "program_cache_size," << programCacheSize << "\n";
     os << "program_cache_hits," << program.hits << "\n";
     os << "program_cache_misses," << program.misses << "\n";
+    os << "program_cache_evictions," << program.evictions << "\n";
     os << "assemble_cache_hits," << assemble.hits << "\n";
     os << "assemble_cache_misses," << assemble.misses << "\n";
+    os << "assemble_cache_evictions," << assemble.evictions << "\n";
     os << "lint_cache_hits," << lint.hits << "\n";
     os << "lint_cache_misses," << lint.misses << "\n";
+    os << "lint_cache_evictions," << lint.evictions << "\n";
     return os.str();
 }
 
@@ -97,9 +104,11 @@ EngineTelemetry::format() const
        << machinesConstructed << " constructed, " << poolHits
        << " pool hits\n";
     os << "  program cache:  " << programCacheSize << " programs, "
-       << program.hits << " hits, " << program.misses << " decodes\n";
+       << program.hits << " hits, " << program.misses << " decodes, "
+       << program.evictions << " evicted\n";
     os << "  assemble cache: " << assemble.hits << " hits, "
-       << assemble.misses << " parses\n";
+       << assemble.misses << " parses, " << assemble.evictions
+       << " evicted\n";
     os << "  lint cache:     " << lint.hits << " hits, " << lint.misses
        << " analyses\n";
     return os.str();

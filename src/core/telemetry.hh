@@ -28,11 +28,15 @@ class JsonCursor;
 } // namespace core
 
 /** Hit/miss counters of one cache. A "miss" is a lookup that had to
- *  build/parse/analyze the entry; a "hit" was served from the cache. */
+ *  build/parse/analyze the entry; a "hit" was served from the cache.
+ *  Bounded caches also count evicted entries: the clear-when-full
+ *  policy drops the whole map, so a nonzero eviction count explains
+ *  what would otherwise read as an inexplicable miss storm. */
 struct CacheStats
 {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
 
     bool operator==(const CacheStats &) const = default;
 };

@@ -446,10 +446,14 @@ publishEngineTelemetry(const EngineTelemetry &telemetry,
     set("engine.program_cache.size", telemetry.programCacheSize);
     set("engine.program_cache.hits", telemetry.program.hits);
     set("engine.program_cache.misses", telemetry.program.misses);
+    set("engine.program_cache.evictions", telemetry.program.evictions);
     set("engine.assemble_cache.hits", telemetry.assemble.hits);
     set("engine.assemble_cache.misses", telemetry.assemble.misses);
+    set("engine.assemble_cache.evictions",
+        telemetry.assemble.evictions);
     set("engine.lint_cache.hits", telemetry.lint.hits);
     set("engine.lint_cache.misses", telemetry.lint.misses);
+    set("engine.lint_cache.evictions", telemetry.lint.evictions);
 }
 
 const std::vector<double> &

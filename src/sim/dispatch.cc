@@ -21,9 +21,11 @@
 
 #include <bit>
 #include <optional>
+#include <sstream>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "sim/machine.hh"
 #include "sim/semantics.hh"
 #include "uarch/timing.hh"
@@ -37,6 +39,34 @@ using x86::Opcode;
 using x86::Operand;
 using x86::OperandKind;
 using x86::Reg;
+
+void
+Machine::budgetCheckpoint(ExecContext &ctx)
+{
+    const Cycles consumed = sched_.maxCompletion - ctx.stats.startCycle;
+    fault::maybeInject(fault::Site::Execute, consumed);
+    if (cycleDeadline_ == 0 || sched_.maxCompletion < cycleDeadline_)
+        return;
+    // Commit the batched PMU state so the error carries an accurate
+    // partial snapshot (the flush is idempotent; the BatchCountScope
+    // flush during unwind then finds nothing pending).
+    flushPendingCounts();
+    std::ostringstream os;
+    os << "cycle budget exceeded (" << cycleBudget_ << " cycles): "
+       << ctx.stats.instructions << " instructions retired, "
+       << consumed << " cycles consumed in this call";
+    if (pmu_.hasFixed()) {
+        const Cycles now = sched_.maxCompletion;
+        os << "; partial PMU fixed counters: instructions="
+           << pmu_.readFixed(0, now)
+           << ", core_cycles=" << pmu_.readFixed(1, now)
+           << ", ref_cycles=" << pmu_.readFixed(2, now);
+    }
+    const std::string msg = os.str();
+    detail::emitMessage("fatal: ", msg);
+    throw BudgetExceededError(msg, ctx.stats.instructions, consumed,
+                              cycleBudget_);
+}
 
 ExecStats
 Machine::execute(const Program &prog)
@@ -411,6 +441,13 @@ next_insn:
         fatal("instruction budget exceeded (", maxInstr_,
               "); possible endless loop in microbenchmark");
     }
+    // Amortized resilience checkpoint (cycle budget + execute-site
+    // fault injection): one predictable mask test per instruction;
+    // the deadline compare and fault-plan probe run every 1024th
+    // instruction, and the cold path lives out of line.
+    if ((ctx.stats.instructions & 1023u) == 0 &&
+        (cycleDeadline_ != 0 || fault::activePlan() != nullptr))
+        budgetCheckpoint(ctx);
     {
         const Program::Block &b = blocks[block_idx];
         entry = b.entryBegin + offset;

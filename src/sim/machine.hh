@@ -170,6 +170,26 @@ class Machine
     /** Instruction budget per execute() call (runaway-loop guard). */
     void setMaxInstructions(std::uint64_t budget) { maxInstr_ = budget; }
 
+    /**
+     * Arm (or, with 0, disarm) a cycle budget: once simulated time
+     * advances @p budget cycles past the current cycle, execute()
+     * throws nb::BudgetExceededError from an amortized checkpoint in
+     * the dispatch loop (so a runaway microbenchmark costs at most
+     * ~one epoch past its budget instead of hanging the caller). The
+     * deadline is absolute, so one budget spans every execute() call
+     * of a Runner::run. Callers must disarm before returning a pooled
+     * machine (Runner::run does this via RAII).
+     */
+    void
+    setCycleBudget(std::uint64_t budget)
+    {
+        cycleBudget_ = budget;
+        cycleDeadline_ = budget ? sched_.maxCompletion + budget : 0;
+    }
+
+    /** The armed cycle budget (0 = disarmed). */
+    std::uint64_t cycleBudget() const { return cycleBudget_; }
+
     /** MSR file (RDMSR/WRMSR reach this; also usable from C++). */
     std::uint64_t readMsr(std::uint32_t addr);
     void writeMsr(std::uint32_t addr, std::uint64_t value);
@@ -259,6 +279,12 @@ class Machine
     void maybeInterrupt(ExecContext &ctx);
     void scheduleNextInterrupt();
 
+    /** Cold path of the dispatch loop's amortized resilience
+     *  checkpoint: fault-injection arrival (execute site) and the
+     *  cycle-budget deadline. Throws InjectedFault or
+     *  BudgetExceededError. */
+    void budgetCheckpoint(ExecContext &ctx);
+
     /**
      * Count a PMU event at a cycle. While the threaded executor runs
      * (batchEvents_), events that are not time-resolved (not selected
@@ -325,6 +351,10 @@ class Machine
     /** Pause-gated pending counts of non-time-resolved events. */
     std::array<std::uint64_t, kNumEvents> pendingCounts_{};
     std::uint64_t maxInstr_ = 50'000'000;
+    /** Armed cycle budget and its absolute deadline (0 = disarmed);
+     *  see setCycleBudget(). */
+    std::uint64_t cycleBudget_ = 0;
+    Cycles cycleDeadline_ = 0;
     Cycles nextInterrupt_ = 0;
     /** Observation sink (threaded executor only); not owned. */
     ExecObserver *execObserver_ = nullptr;

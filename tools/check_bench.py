@@ -75,6 +75,13 @@ Checked ratios:
                           observer's relaxed counter bumps are
                           negligible next to assemble/decode, so this
                           is gated at 1.05x like trace_overhead)
+  budget_overhead         BM_HotpathBudget/1 / BM_HotpathBudget/0
+                          (the threaded-dispatch hot path with a
+                          never-tripping cycle budget armed vs
+                          disarmed; the amortized deadline check is
+                          one masked compare per instruction, so this
+                          is pinned at 1.05x in the tolerances map --
+                          budgets must never tax dispatch)
 
 Per-ratio tolerances: the baseline file may carry a "tolerances" map
 overriding --tolerance for individual ratios (used to pin the two
@@ -106,6 +113,7 @@ RATIOS = {
     "bound_overhead": ("BM_CampaignBound/bound:1", "BM_CampaignBound/bound:0"),
     "trace_overhead": ("BM_CampaignTrace/trace:1", "BM_CampaignTrace/trace:0"),
     "observe_overhead": ("BM_CampaignObserve/observe:1", "BM_CampaignObserve/observe:0"),
+    "budget_overhead": ("BM_HotpathBudget/1", "BM_HotpathBudget/0"),
 }
 
 

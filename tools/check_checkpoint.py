@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Schema gate for campaign checkpoint journals.
+
+A checkpoint journal (nanobench -checkpoint FILE) is line-oriented
+JSON: a header object followed by one entry object per settled unique
+spec. This validates the schema CI-side so the -resume contract --
+"anything the writer emits, the loader accepts" -- is pinned from the
+outside, not just by the C++ round-trip tests:
+
+  header   {"nb_checkpoint": 1, "uarch": str, "mode": str,
+            "total_specs": int, "unique_specs": int}
+  entry    {"key": str, "ok": 1, "result": {...}}       (success)
+           {"key": str, "ok": 0, "code": str,
+            "transient": 0|1, "message": str}           (failure)
+
+Success results must carry the BenchmarkResult shape (uarch, mode,
+spec echo, lines of {name, value}); failure codes must be one of the
+RunError code names. Booleans are 0/1 numbers (the library's JSON
+subset has no true/false). Entry keys must be unique; the entry count
+must not exceed unique_specs from the header.
+
+A torn final line (the journal of a campaign killed mid-write) is
+tolerated only with --allow-torn-tail, which is how the CI
+kill-and-resume smoke invokes this on the interrupted journal.
+
+Usage:
+  check_checkpoint.py [--allow-torn-tail] FILE...
+"""
+
+import argparse
+import json
+import sys
+
+RUN_ERROR_CODES = {
+    "invalid-spec",
+    "assembly-error",
+    "unsupported",
+    "lint-error",
+    "execution-error",
+    "budget-exceeded",
+    "cancelled",
+}
+
+
+def fail(path, lineno, why):
+    sys.exit(f"error: {path}:{lineno}: {why}")
+
+
+def check_header(path, obj):
+    if obj.get("nb_checkpoint") != 1:
+        fail(path, 1, "header is not a version-1 checkpoint marker")
+    for field, kind in (("uarch", str), ("mode", str),
+                        ("total_specs", int), ("unique_specs", int)):
+        if not isinstance(obj.get(field), kind):
+            fail(path, 1, f"header field '{field}' missing or not {kind.__name__}")
+    if obj["unique_specs"] > obj["total_specs"]:
+        fail(path, 1, "header claims more unique specs than total specs")
+
+
+def check_result(path, lineno, result, header):
+    if not isinstance(result, dict):
+        fail(path, lineno, "'result' is not an object")
+    for field in ("uarch", "mode", "spec"):
+        if not isinstance(result.get(field), str):
+            fail(path, lineno, f"result field '{field}' missing or not a string")
+    if result["uarch"] != header["uarch"] or result["mode"] != header["mode"]:
+        fail(path, lineno, "result uarch/mode disagree with the journal header")
+    lines = result.get("lines")
+    if not isinstance(lines, list):
+        fail(path, lineno, "result field 'lines' missing or not an array")
+    for line in lines:
+        if not isinstance(line, dict) or not isinstance(line.get("name"), str) \
+                or not isinstance(line.get("value"), (int, float)):
+            fail(path, lineno, "result line is not {name: str, value: number}")
+
+
+def check_entry(path, lineno, obj, header, seen_keys):
+    key = obj.get("key")
+    if not isinstance(key, str) or not key:
+        fail(path, lineno, "entry field 'key' missing or empty")
+    if key in seen_keys:
+        fail(path, lineno, "duplicate canonical key")
+    seen_keys.add(key)
+    ok = obj.get("ok")
+    if ok not in (0, 1):
+        fail(path, lineno, "entry field 'ok' must be 0 or 1")
+    if ok == 1:
+        if "result" not in obj:
+            fail(path, lineno, "ok entry without a 'result'")
+        check_result(path, lineno, obj["result"], header)
+    else:
+        if obj.get("code") not in RUN_ERROR_CODES:
+            fail(path, lineno, f"unknown error code {obj.get('code')!r}")
+        if obj.get("transient") not in (0, 1):
+            fail(path, lineno, "entry field 'transient' must be 0 or 1")
+        if not isinstance(obj.get("message"), str):
+            fail(path, lineno, "entry field 'message' missing or not a string")
+
+
+def check_file(path, allow_torn_tail):
+    with open(path) as f:
+        lines = [line for line in f.read().split("\n") if line.strip()]
+    if not lines:
+        sys.exit(f"error: {path}: empty journal")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        fail(path, 1, f"header is not valid JSON ({e})")
+    check_header(path, header)
+    seen_keys = set()
+    entries = 0
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            if allow_torn_tail and i == len(lines):
+                print(f"{path}: tolerating torn final line (--allow-torn-tail)")
+                break
+            fail(path, i, f"entry is not valid JSON ({e})")
+        check_entry(path, i, obj, header, seen_keys)
+        entries += 1
+    if entries > header["unique_specs"]:
+        sys.exit(f"error: {path}: {entries} entries but the header "
+                 f"claims {header['unique_specs']} unique specs")
+    print(f"{path}: ok ({entries}/{header['unique_specs']} unique specs journalled)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="checkpoint journals")
+    parser.add_argument("--allow-torn-tail", action="store_true",
+                        help="tolerate one torn (truncated) final line")
+    args = parser.parse_args()
+    for path in args.files:
+        check_file(path, args.allow_torn_tail)
+
+
+if __name__ == "__main__":
+    main()
